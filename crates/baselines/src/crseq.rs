@@ -1,0 +1,220 @@
+//! CRSEQ — the channel rendezvous sequence of Shin, Yang, Kim (IEEE
+//! Communications Letters 2010). `O(n²)` rendezvous, the first construction
+//! to guarantee asynchronous blind rendezvous.
+//!
+//! # Construction (reconstruction from the published description)
+//!
+//! Let `P` be the smallest prime `≥ n`. The sequence has period
+//! `P(3P − 1)` and consists of `P` subsequences of `3P − 1` slots each. The
+//! `i`-th subsequence (`i ∈ [0, P)`) uses the triangular number
+//! `T_i = i(i+1)/2`:
+//!
+//! * slots `j ∈ [0, 2P − 1)`: raw channel `((T_i + j) mod P) + 1` — a
+//!   sweep covering every channel at least once;
+//! * slots `j ∈ [2P − 1, 3P − 1)`: stay on raw channel `(T_i mod P) + 1`.
+//!
+//! The quadratic growth of `T_i` is the load-bearing feature: for two
+//! agents whose subsequence grids are offset by `κ`, the stay-channel
+//! difference `T_{i+κ} − T_i = κ·i + T_κ (mod P)` is *linear in `i`* with a
+//! non-zero slope whenever `κ ≢ 0 (mod P)`, so some subsequence pair puts
+//! both agents on the same stay channel; sweeps cover the remaining
+//! alignments. Raw channels are projected onto the agent's set by the
+//! *rotating* [`projection`](crate::projection) rule (the original paper
+//! replaces unavailable channels randomly; rotating by subsequence index is
+//! the deterministic, anonymous analogue — a fixed replacement rule can
+//! phase-lock two projected sequences apart, e.g. `{1,2,3}` vs `{3,4}` in a
+//! 4-channel universe at shift 1).
+
+use crate::projection::project_rotating;
+use rdv_core::channel::{Channel, ChannelSet};
+use rdv_core::schedule::Schedule;
+use rdv_numtheory::primes::next_prime_at_least;
+
+/// A CRSEQ schedule for one agent.
+///
+/// # Example
+///
+/// ```
+/// use rdv_baselines::Crseq;
+/// use rdv_core::channel::ChannelSet;
+/// use rdv_core::schedule::Schedule;
+///
+/// let set = ChannelSet::new(vec![2, 3]).unwrap();
+/// let s = Crseq::new(4, set.clone()).unwrap();
+/// assert!(set.contains(s.channel_at(17).get()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crseq {
+    set: ChannelSet,
+    n: u64,
+    p: u64,
+}
+
+impl Crseq {
+    /// Builds the schedule for `set` within universe `[n]`.
+    ///
+    /// Returns `None` if the set exceeds the universe or `n == 0`.
+    pub fn new(n: u64, set: ChannelSet) -> Option<Self> {
+        if n == 0 || set.max_channel().get() > n {
+            return None;
+        }
+        Some(Crseq {
+            set,
+            n,
+            p: next_prime_at_least(n.max(2)),
+        })
+    }
+
+    /// The padded prime `P ≥ n`.
+    pub fn prime(&self) -> u64 {
+        self.p
+    }
+
+    /// The agent's channel set.
+    pub fn set(&self) -> &ChannelSet {
+        &self.set
+    }
+
+    /// The raw (pre-projection) channel for slot `t`.
+    pub fn raw_channel(&self, t: u64) -> u64 {
+        let p = self.p;
+        let sub_len = 3 * p - 1;
+        let i = (t / sub_len) % p;
+        let j = t % sub_len;
+        // T_i mod p, computed without overflow (i < p here).
+        let ti = ((i as u128 * (i as u128 + 1) / 2) % p as u128) as u64;
+        if j < 2 * p - 1 {
+            ((ti + j) % p) + 1
+        } else {
+            ti + 1
+        }
+    }
+}
+
+impl Schedule for Crseq {
+    fn channel_at(&self, t: u64) -> Channel {
+        let sub = t / (3 * self.p - 1);
+        project_rotating(self.raw_channel(t), self.n, &self.set, sub)
+    }
+
+    fn period_hint(&self) -> Option<u64> {
+        // The raw sequence has period P(3P−1); the rotating projection adds
+        // a factor of k on the subsequence index, so the projected schedule
+        // repeats every (3P−1)·lcm(P, k) slots.
+        let k = self.set.len() as u64;
+        let lcm = self.p / rdv_numtheory::modular::gcd(self.p, k) * k;
+        Some((3 * self.p - 1) * lcm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdv_core::verify;
+
+    fn set(channels: &[u64]) -> ChannelSet {
+        ChannelSet::new(channels.iter().copied()).unwrap()
+    }
+
+    fn all_subsets(n: u64) -> Vec<ChannelSet> {
+        (1u64..(1 << n))
+            .map(|mask| {
+                ChannelSet::new((1..=n).filter(|c| mask >> (c - 1) & 1 == 1)).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn triangular_stay_channels() {
+        let c = Crseq::new(5, ChannelSet::full_universe(5)).unwrap();
+        let p = c.prime();
+        let sub_len = 3 * p - 1;
+        // Stay channel of subsequence i is T_i mod P + 1: 1, 2, 4, 2, 1 for P=5.
+        let want = [1u64, 2, 4, 2, 1];
+        for (i, &w) in want.iter().enumerate() {
+            let t = i as u64 * sub_len + 2 * p - 1;
+            assert_eq!(c.raw_channel(t), w, "subsequence {i}");
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_channels() {
+        let c = Crseq::new(7, ChannelSet::full_universe(7)).unwrap();
+        let p = c.prime();
+        let sub_len = 3 * p - 1;
+        for i in 0..p {
+            let mut seen = std::collections::HashSet::new();
+            for j in 0..2 * p - 1 {
+                seen.insert(c.raw_channel(i * sub_len + j));
+            }
+            assert_eq!(seen.len() as u64, p, "subsequence {i} sweep incomplete");
+        }
+    }
+
+    #[test]
+    fn stay_is_constant() {
+        let c = Crseq::new(6, ChannelSet::full_universe(6)).unwrap();
+        let p = c.prime();
+        let sub_len = 3 * p - 1;
+        for i in 0..2 * p {
+            let stay0 = c.raw_channel(i * sub_len + 2 * p - 1);
+            for j in 2 * p - 1..sub_len {
+                assert_eq!(c.raw_channel(i * sub_len + j), stay0);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_pairs_rendezvous_n4() {
+        let n = 4u64;
+        let subsets = all_subsets(n);
+        for a in &subsets {
+            let sa = Crseq::new(n, a.clone()).unwrap();
+            let horizon = 2 * sa.period_hint().unwrap();
+            for b in &subsets {
+                if !a.overlaps(b) {
+                    continue;
+                }
+                let sb = Crseq::new(n, b.clone()).unwrap();
+                for shift in [0u64, 1, 2, 7, 19, 53] {
+                    assert!(
+                        verify::async_ttr(&sa, &sb, shift, horizon).is_some(),
+                        "A={a}, B={b}, shift={shift}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_universe_all_shifts_rendezvous_n5() {
+        // The symmetric full-universe case, every relative shift across one
+        // whole period: CRSEQ must always meet within its period bound.
+        let n = 5u64;
+        let s = Crseq::new(n, ChannelSet::full_universe(n)).unwrap();
+        let period = s.period_hint().unwrap();
+        for shift in 0..period {
+            assert!(
+                verify::async_ttr(&s, &s, shift, 2 * period).is_some(),
+                "shift {shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn stays_in_set_and_deterministic() {
+        let s = set(&[2, 9, 11]);
+        let c = Crseq::new(12, s.clone()).unwrap();
+        for t in 0..3_000 {
+            let ch = c.channel_at(t);
+            assert!(s.contains(ch.get()));
+            assert_eq!(ch, c.channel_at(t));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(Crseq::new(3, set(&[4])).is_none());
+        assert!(Crseq::new(0, set(&[1])).is_none());
+    }
+}

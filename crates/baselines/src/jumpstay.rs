@@ -1,0 +1,225 @@
+//! The Jump-Stay algorithm of Lin, Liu, Chu, Leung (INFOCOM 2011) —
+//! `O(n³)` asymmetric / `O(n)` symmetric guaranteed rendezvous.
+//!
+//! # Construction (reconstruction from the published description)
+//!
+//! Let `P` be the smallest prime `≥ n`. Time is divided into *rounds* of
+//! `3P` slots: a **jump phase** of `2P` slots followed by a **stay phase**
+//! of `P` slots. Round `m` uses a starting index `i = (m mod P) + 1` and a
+//! step `r = (⌊m/P⌋ mod (P−1)) + 1`:
+//!
+//! * jump slot `x ∈ [0, 2P)`: raw channel `((i − 1 + x·r) mod P) + 1`;
+//! * stay slot: raw channel `r`.
+//!
+//! Raw channels are projected onto the agent's set by the standard
+//! [`projection`](crate::projection) rule. The `(i, r)` evolution sweeps
+//! all `P(P−1)` start/step combinations, giving the full sequence period
+//! `3P²(P−1) = O(n³)` that matches the paper's Table 1 asymmetric entry.
+//!
+//! The exact pseudocode of the original (in particular the order in which
+//! `i` and `r` advance) is not recoverable from the paper's text alone; this
+//! reconstruction preserves the round structure, the jump/stay split, and
+//! the period — the properties the Table 1 reproduction measures.
+
+use crate::projection::project;
+use rdv_core::channel::{Channel, ChannelSet};
+use rdv_core::schedule::Schedule;
+use rdv_numtheory::primes::next_prime_at_least;
+
+/// A Jump-Stay schedule for one agent.
+///
+/// # Example
+///
+/// ```
+/// use rdv_baselines::JumpStay;
+/// use rdv_core::channel::ChannelSet;
+/// use rdv_core::schedule::Schedule;
+///
+/// let set = ChannelSet::new(vec![1, 4]).unwrap();
+/// let s = JumpStay::new(5, set.clone()).unwrap();
+/// assert!(set.contains(s.channel_at(0).get()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct JumpStay {
+    set: ChannelSet,
+    n: u64,
+    p: u64,
+}
+
+impl JumpStay {
+    /// Builds the schedule for `set` within universe `[n]`.
+    ///
+    /// Returns `None` if the set exceeds the universe or `n == 0`.
+    pub fn new(n: u64, set: ChannelSet) -> Option<Self> {
+        if n == 0 || set.max_channel().get() > n {
+            return None;
+        }
+        Some(JumpStay {
+            set,
+            n,
+            p: next_prime_at_least(n.max(2)),
+        })
+    }
+
+    /// The padded prime `P ≥ n`.
+    pub fn prime(&self) -> u64 {
+        self.p
+    }
+
+    /// The agent's channel set.
+    pub fn set(&self) -> &ChannelSet {
+        &self.set
+    }
+
+    /// The raw (pre-projection) channel for slot `t`.
+    pub fn raw_channel(&self, t: u64) -> u64 {
+        let p = self.p;
+        let round = t / (3 * p);
+        let x = t % (3 * p);
+        let i = (round % p) + 1;
+        let r = ((round / p) % (p - 1)) + 1;
+        if x < 2 * p {
+            ((i - 1 + x * r) % p) + 1
+        } else {
+            r
+        }
+    }
+}
+
+impl Schedule for JumpStay {
+    fn channel_at(&self, t: u64) -> Channel {
+        project(self.raw_channel(t), self.n, &self.set)
+    }
+
+    fn period_hint(&self) -> Option<u64> {
+        // i has period P rounds, r has period P(P−1) rounds.
+        Some(3 * self.p * self.p * (self.p - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdv_core::verify;
+
+    fn set(channels: &[u64]) -> ChannelSet {
+        ChannelSet::new(channels.iter().copied()).unwrap()
+    }
+
+    fn all_subsets(n: u64) -> Vec<ChannelSet> {
+        (1u64..(1 << n))
+            .map(|mask| {
+                ChannelSet::new((1..=n).filter(|c| mask >> (c - 1) & 1 == 1)).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stays_in_set() {
+        let s = set(&[2, 3, 7]);
+        let js = JumpStay::new(8, s.clone()).unwrap();
+        for t in 0..2_000 {
+            assert!(s.contains(js.channel_at(t).get()));
+        }
+    }
+
+    #[test]
+    fn jump_phase_sweeps_all_raw_channels() {
+        // Any P consecutive jump slots cover every raw channel: the
+        // sweeping property the rendezvous argument rests on.
+        let js = JumpStay::new(5, set(&[1, 2, 3, 4, 5])).unwrap();
+        let p = js.prime();
+        for start in [0u64, 3, p] {
+            let mut seen = std::collections::HashSet::new();
+            for x in start..start + p {
+                seen.insert(js.raw_channel(x));
+            }
+            assert_eq!(seen.len() as u64, p, "window at {start}");
+        }
+    }
+
+    #[test]
+    fn stay_phase_is_constant_per_round() {
+        let js = JumpStay::new(7, set(&[1, 2, 3, 4, 5, 6, 7])).unwrap();
+        let p = js.prime();
+        for round in 0..10u64 {
+            let base = round * 3 * p + 2 * p;
+            let c = js.raw_channel(base);
+            for x in 0..p {
+                assert_eq!(js.raw_channel(base + x), c, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_and_start_sweep_full_space() {
+        // Over P(P−1) rounds, every (i, r) pair appears.
+        let js = JumpStay::new(5, set(&[1])).unwrap();
+        let p = js.prime();
+        let mut pairs = std::collections::HashSet::new();
+        for round in 0..p * (p - 1) {
+            let i = (round % p) + 1;
+            let r = ((round / p) % (p - 1)) + 1;
+            pairs.insert((i, r));
+        }
+        assert_eq!(pairs.len() as u64, p * (p - 1));
+    }
+
+    #[test]
+    fn exhaustive_pairs_rendezvous_n4() {
+        // Every overlapping pair of subsets of [4], sampled shifts: JS must
+        // rendezvous within its full period.
+        let n = 4u64;
+        let subsets = all_subsets(n);
+        for a in &subsets {
+            let sa = JumpStay::new(n, a.clone()).unwrap();
+            let horizon = sa.period_hint().unwrap();
+            for b in &subsets {
+                if !a.overlaps(b) {
+                    continue;
+                }
+                let sb = JumpStay::new(n, b.clone()).unwrap();
+                for shift in [0u64, 1, 7, 19, 53, 101] {
+                    assert!(
+                        verify::async_ttr(&sa, &sb, shift, horizon).is_some(),
+                        "A={a}, B={b}, shift={shift}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_rendezvous_is_fast() {
+        // Identical sets: rendezvous within O(P) slots over sampled shifts
+        // (JS's symmetric guarantee).
+        let n = 16u64;
+        let s = ChannelSet::full_universe(n);
+        let js = JumpStay::new(n, s).unwrap();
+        let p = js.prime();
+        for shift in [0u64, 1, 5, 13, 40, 100, 307, 1009] {
+            let ttr = verify::async_ttr(&js, &js, shift, 3 * p * p).unwrap();
+            assert!(
+                ttr <= 6 * p,
+                "shift {shift}: symmetric ttr {ttr} > 6P = {}",
+                6 * p
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_and_anonymous() {
+        let a = JumpStay::new(12, set(&[3, 7, 11])).unwrap();
+        let b = JumpStay::new(12, ChannelSet::new(vec![11, 3, 7]).unwrap()).unwrap();
+        for t in 0..500 {
+            assert_eq!(a.channel_at(t), b.channel_at(t));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_universe() {
+        assert!(JumpStay::new(4, set(&[5])).is_none());
+        assert!(JumpStay::new(0, set(&[1])).is_none());
+        assert!(JumpStay::new(1, set(&[1])).is_some());
+    }
+}

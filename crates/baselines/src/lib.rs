@@ -1,0 +1,39 @@
+//! Baseline channel-hopping algorithms for the Table 1 comparison.
+//!
+//! The paper benchmarks its construction against the prior deterministic
+//! state of the art:
+//!
+//! | algorithm | paper | asymmetric | symmetric |
+//! |-----------|-------|------------|-----------|
+//! | [`crseq`]    | Shin–Yang–Kim, IEEE Comm. Letters 2010 | `O(n²)` | `O(n²)` |
+//! | [`jumpstay`] | Lin–Liu–Chu–Leung, INFOCOM 2011        | `O(n³)` | `O(n)`  |
+//! | [`drds`]     | Gu–Hua–Wang–Lau, SECON 2013            | `O(n²)` | `O(n)`  |
+//! | [`random`]   | the randomized strawman of §1.2        | `O(kℓ·log n)` w.h.p. | — |
+//!
+//! # Reconstruction notes
+//!
+//! The three deterministic baselines are re-implemented from their published
+//! algorithm descriptions; where a pseudocode detail is not recoverable from
+//! the papers, the closest construction with the *same period structure and
+//! asymptotic guarantee* is used, and the module documentation says so
+//! explicitly. All three derive an agent's schedule by **projecting** a
+//! single universe-wide sequence onto the agent's available set (the design
+//! our paper contrasts itself against — its Related Work notes that earlier
+//! constructions "derive the schedule for a channel subset by projecting
+//! onto the desired subset from a single uniformly generated schedule for
+//! the full set of channels"). The [`projection`] module implements that
+//! shared remapping rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crseq;
+pub mod drds;
+pub mod jumpstay;
+pub mod projection;
+pub mod random;
+
+pub use crseq::Crseq;
+pub use drds::Drds;
+pub use jumpstay::JumpStay;
+pub use random::RandomHopping;

@@ -1,0 +1,99 @@
+//! The shared projection rule of the prior-art baselines: a universe-wide
+//! sequence over `[P]` (with `P` a prime `≥ n`) is folded down to the
+//! universe `[n]` and then to the agent's available set.
+
+use rdv_core::channel::{Channel, ChannelSet};
+
+/// Projects a raw sequence value `c ∈ [1, P]` onto the agent's set.
+///
+/// Two stages, both standard in the channel-hopping literature:
+///
+/// 1. **Universe fold**: `c > n` becomes `((c − 1) mod n) + 1`, mapping the
+///    padded prime range back onto real channels.
+/// 2. **Availability fold**: a folded channel not in the agent's set is
+///    replaced by the set element at index `(c − 1) mod k` — deterministic
+///    and dependent only on the set (anonymity), and the identity on
+///    channels the agent *does* have.
+///
+/// # Panics
+///
+/// Panics if `c == 0` (raw sequence values are 1-indexed).
+pub fn project(c: u64, n: u64, set: &ChannelSet) -> Channel {
+    assert!(c != 0, "raw sequence values are 1-indexed");
+    let folded = ((c - 1) % n) + 1;
+    if set.contains(folded) {
+        Channel::new(folded)
+    } else {
+        set.channel(((c - 1) % set.len() as u64) as usize)
+    }
+}
+
+/// Like [`project`], but the availability fold rotates with an epoch index,
+/// spreading replacement channels across the set over time (used by the
+/// DRDS-style baseline).
+pub fn project_rotating(c: u64, n: u64, set: &ChannelSet, rotation: u64) -> Channel {
+    assert!(c != 0, "raw sequence values are 1-indexed");
+    let folded = ((c - 1) % n) + 1;
+    if set.contains(folded) {
+        Channel::new(folded)
+    } else {
+        let k = set.len() as u64;
+        set.channel((((c - 1) + rotation) % k) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(channels: &[u64]) -> ChannelSet {
+        ChannelSet::new(channels.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn identity_on_available_channels() {
+        let s = set(&[2, 5, 7]);
+        for c in [2u64, 5, 7] {
+            assert_eq!(project(c, 8, &s).get(), c);
+            assert_eq!(project_rotating(c, 8, &s, 3).get(), c);
+        }
+    }
+
+    #[test]
+    fn folds_prime_padding() {
+        // n = 6, P = 7: raw channel 7 folds to 1.
+        let s = set(&[1, 3]);
+        assert_eq!(project(7, 6, &s).get(), 1);
+    }
+
+    #[test]
+    fn unavailable_maps_into_set() {
+        let s = set(&[2, 5]);
+        for c in 1..=11u64 {
+            let out = project(c, 8, &s);
+            assert!(s.contains(out.get()), "raw {c} → {out}");
+        }
+    }
+
+    #[test]
+    fn rotation_sweeps_set() {
+        let s = set(&[2, 5, 9]);
+        // Raw channel 1 is unavailable; rotating must cycle replacements.
+        let hits: std::collections::HashSet<u64> = (0..3)
+            .map(|rot| project_rotating(1, 16, &s, rot).get())
+            .collect();
+        assert_eq!(hits.len(), 3, "all three set elements used");
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = set(&[4, 6]);
+        assert_eq!(project(3, 8, &s), project(3, 8, &s));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn zero_raw_channel_panics() {
+        project(0, 4, &set(&[1]));
+    }
+}

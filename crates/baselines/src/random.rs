@@ -1,0 +1,135 @@
+//! The randomized strawman of Section 1.2: each agent, at each slot, hops
+//! on a channel chosen uniformly at random from its own set. Rendezvous for
+//! overlapping `A`, `B` in `O(|A||B| log n)` slots with high probability —
+//! the reference line the deterministic constructions are measured against.
+//!
+//! Randomness is derived per-slot from a seeded counter hash (SplitMix64),
+//! so a `RandomHopping` schedule is a *pure function* of `(seed, slot)` as
+//! the [`Schedule`] contract requires, while different seeds model the
+//! independent coin flips of different agents (this baseline deliberately
+//! violates anonymity — that is the point of the comparison).
+
+use rdv_core::channel::{Channel, ChannelSet};
+use rdv_core::schedule::Schedule;
+
+/// A uniformly random hopping schedule.
+///
+/// # Example
+///
+/// ```
+/// use rdv_baselines::RandomHopping;
+/// use rdv_core::channel::ChannelSet;
+/// use rdv_core::schedule::Schedule;
+///
+/// let set = ChannelSet::new(vec![4, 8, 15]).unwrap();
+/// let s = RandomHopping::new(set.clone(), 42);
+/// assert!(set.contains(s.channel_at(7).get()));
+/// // Pure function of (seed, t):
+/// assert_eq!(s.channel_at(7), s.channel_at(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomHopping {
+    set: ChannelSet,
+    seed: u64,
+}
+
+impl RandomHopping {
+    /// Creates a random schedule over `set` with the given seed.
+    pub fn new(set: ChannelSet, seed: u64) -> Self {
+        RandomHopping { set, seed }
+    }
+
+    /// The agent's channel set.
+    pub fn set(&self) -> &ChannelSet {
+        &self.set
+    }
+
+    /// SplitMix64 finalizer — a high-quality 64-bit mixing function.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Schedule for RandomHopping {
+    fn channel_at(&self, t: u64) -> Channel {
+        let r = Self::mix(self.seed ^ Self::mix(t));
+        let k = self.set.len() as u64;
+        // Multiply-shift range reduction avoids modulo bias for small k.
+        let idx = ((r as u128 * k as u128) >> 64) as usize;
+        self.set.channel(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdv_core::verify;
+
+    fn set(channels: &[u64]) -> ChannelSet {
+        ChannelSet::new(channels.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn stays_in_set() {
+        let s = set(&[1, 9, 17]);
+        let r = RandomHopping::new(s.clone(), 7);
+        for t in 0..5_000 {
+            assert!(s.contains(r.channel_at(t).get()));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let s = set(&[1, 2, 3, 4]);
+        let r = RandomHopping::new(s.clone(), 99);
+        let mut counts = [0u32; 4];
+        let trials = 40_000;
+        for t in 0..trials {
+            counts[s.index_of(r.channel_at(t).get()).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = trials / 4;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < expected / 10,
+                "channel {i} count {c} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = set(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let a = RandomHopping::new(s.clone(), 1);
+        let b = RandomHopping::new(s, 2);
+        let agree = (0..1000).filter(|&t| a.channel_at(t) == b.channel_at(t)).count();
+        // Expected agreement 1/8 ≈ 125; anything near 1000 means broken seeding.
+        assert!(agree < 300, "agreement {agree}");
+    }
+
+    #[test]
+    fn rendezvous_quickly_with_high_probability() {
+        // kℓ·ln(n) scale: k=ℓ=3, n=16 → ~25 slots expected; give 40× headroom.
+        let a = RandomHopping::new(set(&[1, 5, 9]), 11);
+        let b = RandomHopping::new(set(&[5, 12, 14]), 23);
+        let mut worst = 0;
+        for shift in 0..100u64 {
+            let ttr = verify::async_ttr(&a, &b, shift, 1_000)
+                .expect("whp rendezvous within 1000 slots");
+            worst = worst.max(ttr);
+        }
+        assert!(worst < 1_000);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let s = set(&[2, 4]);
+        let a = RandomHopping::new(s.clone(), 5);
+        let b = RandomHopping::new(s, 5);
+        for t in 0..100 {
+            assert_eq!(a.channel_at(t), b.channel_at(t));
+        }
+    }
+}

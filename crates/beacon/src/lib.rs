@@ -1,0 +1,40 @@
+//! Rendezvous with a one-bit random beacon (Section 5 of the paper).
+//!
+//! The model: the environment broadcasts one common uniformly random bit
+//! `c_t` per slot, visible to all agents. This drops the asynchronous
+//! rendezvous time from `Ω(|S_i||S_j|)` (Theorem 7) to
+//! `O(|S_i| + |S_j| + log n)` with high probability.
+//!
+//! * [`model`] — the shared beacon bit stream (seeded, random-access).
+//! * [`minwise`] — ε-min-wise independent permutation families realized as
+//!   `t`-wise independent polynomial hashing over `F_q` (Indyk's
+//!   construction [11]).
+//! * [`expander`] — the explicit Gabber–Galil constant-degree expander on
+//!   `ℤ_m × ℤ_m`, used for deterministic amplification by random walk.
+//! * [`protocol`] — the two protocols of Section 5: protocol A re-seeds a
+//!   fresh permutation from the last `Θ(log n)` beacon bits (rendezvous in
+//!   `O(log n · (k + ℓ))` w.h.p.); protocol B walks an expander over the
+//!   seed space, spending `O(1)` fresh bits per permutation (rendezvous in
+//!   `O(k + ℓ + log n)` w.h.p.).
+//!
+//! # Modeling note
+//!
+//! The paper treats the beacon as a common sequence `c₁ c₂ …` without
+//! addressing how a late-waking agent knows the current index; we follow
+//! the same convention (in practice the beacon — e.g. GPS — carries a slot
+//! counter). Asynchrony therefore affects only *when* each agent starts
+//! hopping; times-to-rendezvous are measured from the moment both are
+//! awake, exactly as for the deterministic schedules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expander;
+pub mod minwise;
+pub mod model;
+pub mod protocol;
+
+pub use expander::GabberGalil;
+pub use minwise::MinwiseFamily;
+pub use model::BeaconStream;
+pub use protocol::{BeaconProtocolA, BeaconProtocolB};

@@ -1,0 +1,126 @@
+//! The shared one-bit beacon stream.
+
+/// A deterministic, random-access stream of beacon bits.
+///
+/// All agents in one experiment share a `BeaconStream` (same seed),
+/// modeling the environment's common randomness; different experiment
+/// trials use different seeds. Bits are produced by the SplitMix64
+/// finalizer applied to the slot index, giving O(1) random access — which
+/// the simulator needs to evaluate schedules at arbitrary slots.
+///
+/// # Example
+///
+/// ```
+/// use rdv_beacon::BeaconStream;
+///
+/// let s = BeaconStream::new(42);
+/// assert_eq!(s.bit(17), BeaconStream::new(42).bit(17)); // shared & pure
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaconStream {
+    seed: u64,
+}
+
+impl BeaconStream {
+    /// Creates the stream for one experiment.
+    pub fn new(seed: u64) -> Self {
+        BeaconStream { seed }
+    }
+
+    /// The experiment seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The beacon bit `c_t` at absolute slot `t`.
+    pub fn bit(&self, t: u64) -> bool {
+        Self::mix(self.seed ^ Self::mix(t)) & 1 == 1
+    }
+
+    /// The `width ≤ 64` most recent bits ending at slot `t` (exclusive),
+    /// packed little-endian: bit `i` of the result is `c_{t-1-i}`.
+    ///
+    /// Slots before 0 contribute `0` bits (the stream "starts" at slot 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn window(&self, t: u64, width: u32) -> u64 {
+        assert!(width <= 64, "window wider than 64 bits");
+        let mut out = 0u64;
+        for i in 0..u64::from(width) {
+            if i >= t {
+                break;
+            }
+            if self.bit(t - 1 - i) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// `count ≤ 21` consecutive 3-bit symbols starting at slot `t`, for
+    /// expander-walk steps.
+    pub fn symbol3(&self, t: u64) -> u8 {
+        (u8::from(self.bit(3 * t)) << 2) | (u8::from(self.bit(3 * t + 1)) << 1)
+            | u8::from(self.bit(3 * t + 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_are_roughly_balanced() {
+        let s = BeaconStream::new(7);
+        let ones: u32 = (0..10_000).map(|t| u32::from(s.bit(t))).sum();
+        assert!((4_500..5_500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = BeaconStream::new(1);
+        let b = BeaconStream::new(2);
+        let agree = (0..1000).filter(|&t| a.bit(t) == b.bit(t)).count();
+        assert!((300..700).contains(&agree), "agree = {agree}");
+    }
+
+    #[test]
+    fn window_matches_bits() {
+        let s = BeaconStream::new(3);
+        let w = s.window(100, 16);
+        for i in 0..16u64 {
+            assert_eq!(w >> i & 1 == 1, s.bit(99 - i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn window_at_stream_start_pads_zero() {
+        let s = BeaconStream::new(3);
+        let w = s.window(2, 8);
+        // Only bits 0..2 exist; the rest are zero-padded.
+        assert_eq!(w >> 2, 0);
+    }
+
+    #[test]
+    fn symbol3_in_range() {
+        let s = BeaconStream::new(11);
+        for t in 0..100 {
+            assert!(s.symbol3(t) < 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 64")]
+    fn oversized_window_panics() {
+        BeaconStream::new(0).window(100, 65);
+    }
+}

@@ -1,0 +1,134 @@
+//! The ablation studies DESIGN.md calls out:
+//!
+//! * **epoch doubling** — the asynchronous epochs play each codeword twice;
+//!   the sync variant (single `C`-words) is roughly half the epoch length
+//!   but loses the asynchronous guarantee entirely (shown by the
+//!   `parity`-style failures in the unit tests); here we quantify the cost.
+//! * **lean vs naive sync code** — `01∘x∘¬wt(x)₂` vs `01∘x∘x̄`.
+//! * **symmetric wrapper overhead** — 12× expansion vs raw Theorem 3 on
+//!   *asymmetric* instances (the price of `O(1)` symmetric rendezvous).
+//! * **min-wise independence degree** — hash family degree vs argmin cost.
+//! * **SDP rank** — Burer–Monteiro dimension vs solve time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_bench::scenario;
+use rdv_core::channel::ChannelSet;
+use rdv_core::general::{GeneralSchedule, Mode};
+use rdv_core::schedule::Schedule;
+use rdv_core::symmetric::SymmetricWrapped;
+use rdv_strings::cmap::{naive_encode, CCode};
+use rdv_strings::Bits;
+use std::hint::black_box;
+
+fn ablate_epoch_doubling(c: &mut Criterion) {
+    // Epoch length ratio is structural; the bench tracks evaluation cost of
+    // the doubled (async) vs single (sync) epochs.
+    let mut group = c.benchmark_group("ablate_epoch_doubling");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.sample_size(20);
+    let set = ChannelSet::new(vec![3, 17, 40, 99]).expect("valid");
+    for (label, mode) in [("doubled_async", Mode::Asynchronous), ("single_sync", Mode::Synchronous)] {
+        let s = GeneralSchedule::with_mode(128, set.clone(), mode).expect("valid");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for t in 0..512u64 {
+                    acc ^= s.channel_at(black_box(t)).get();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_sync_code(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_sync_code");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.sample_size(30);
+    let x = Bits::encode_int(0b1011010, 7);
+    let code = CCode::new(7);
+    group.bench_function("lean_weight_tagged", |b| {
+        b.iter(|| black_box(code.encode(black_box(&x))))
+    });
+    group.bench_function("naive_complement", |b| {
+        b.iter(|| black_box(naive_encode(black_box(&x))))
+    });
+    // The structural payoff: codeword lengths.
+    assert!(code.output_len() < 2 + 2 * 7);
+    group.finish();
+}
+
+fn ablate_symmetric_wrapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_symmetric_wrapper");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.sample_size(10);
+    let n = 64u64;
+    let sc = scenario(n, 4);
+    let base_a = GeneralSchedule::asynchronous(n, sc.a.clone()).expect("valid");
+    let base_b = GeneralSchedule::asynchronous(n, sc.b.clone()).expect("valid");
+    let wrapped_a = SymmetricWrapped::new(base_a.clone(), &sc.a);
+    let wrapped_b = SymmetricWrapped::new(base_b.clone(), &sc.b);
+    group.bench_function("raw_thm3_ttr", |b| {
+        b.iter(|| {
+            rdv_core::verify::async_ttr(&base_a, &base_b, black_box(17), 1 << 20)
+                .expect("guaranteed")
+        })
+    });
+    group.bench_function("wrapped_ttr", |b| {
+        b.iter(|| {
+            rdv_core::verify::async_ttr(&wrapped_a, &wrapped_b, black_box(17), 1 << 24)
+                .expect("guaranteed (12x slower)")
+        })
+    });
+    group.finish();
+}
+
+fn ablate_minwise_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_minwise_degree");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.sample_size(30);
+    let set = ChannelSet::new((1..=16u64).collect::<Vec<_>>()).expect("valid");
+    for degree in [2usize, 4, 8, 16] {
+        let fam = rdv_beacon::MinwiseFamily::new(256, degree);
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &fam, |b, fam| {
+            b.iter(|| fam.argmin(black_box(999), &set))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_sdp_rank(c: &mut Criterion) {
+    // Rank is internal (√(2m)+1); we ablate via iteration count, the other
+    // knob controlling solution quality.
+    let mut group = c.benchmark_group("ablate_sdp_iterations");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.sample_size(10);
+    let g = rdv_sdp::OrientGraph::new(8, (0..12u32).map(|i| (i % 7, (i % 7 + 1 + i / 7) % 8)).collect())
+        .expect("valid");
+    for iters in [50usize, 200, 800] {
+        let cfg = rdv_sdp::SdpConfig {
+            iterations: iters,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &cfg, |b, cfg| {
+            b.iter(|| black_box(rdv_sdp::solve(&g, cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_epoch_doubling,
+    ablate_sync_code,
+    ablate_symmetric_wrapper,
+    ablate_minwise_degree,
+    ablate_sdp_rank
+);
+criterion_main!(benches);

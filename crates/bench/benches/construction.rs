@@ -1,0 +1,45 @@
+//! Schedule-construction cost per algorithm and universe size.
+//!
+//! Downstream relevance: an agent builds its schedule once per spectrum
+//! scan; the paper's construction must stay cheap even for enormous `n`
+//! (its state is the Ramsey color table, `O(log n)` codewords).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_bench::{build, scenario};
+use rdv_core::pair::PairFamily;
+use rdv_sim::Algorithm;
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.sample_size(20);
+    for n in [64u64, 1024, 1 << 20] {
+        let sc = scenario(n, 4);
+        for algo in [Algorithm::Ours, Algorithm::Crseq, Algorithm::JumpStay, Algorithm::Drds] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.to_string(), n),
+                &n,
+                |b, &n| b.iter(|| black_box(build(algo, n, &sc.a))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pair_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_family_new");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.sample_size(20);
+    for n in [16u64, 1 << 16, 1 << 40, 1 << 62] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(PairFamily::new(n).expect("n ≥ 2")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(900)).sample_size(10); targets = bench_construction, bench_pair_family}
+criterion_main!(benches);

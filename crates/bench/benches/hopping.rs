@@ -1,0 +1,46 @@
+//! Per-slot schedule evaluation (`channel_at`) throughput — the radio's
+//! per-slot budget at runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdv_bench::{build, scenario};
+use rdv_core::schedule::Schedule;
+use rdv_sim::Algorithm;
+use std::hint::black_box;
+
+fn bench_hopping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_at");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(1024));
+    let n = 256u64;
+    let sc = scenario(n, 4);
+    for algo in [
+        Algorithm::Ours,
+        Algorithm::OursSymmetric,
+        Algorithm::Crseq,
+        Algorithm::JumpStay,
+        Algorithm::Drds,
+        Algorithm::Random,
+        Algorithm::BeaconA,
+    ] {
+        let sched = build(algo, n, &sc.a);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.to_string()),
+            &sched,
+            |b, sched| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for t in 0..1024u64 {
+                        acc ^= sched.channel_at(black_box(t)).get();
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(900)).sample_size(10); targets = bench_hopping}
+criterion_main!(benches);

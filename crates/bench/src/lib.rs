@@ -1,0 +1,48 @@
+//! Shared helpers for the criterion benches.
+//!
+//! The benches mirror the experiment index of DESIGN.md: each bench target
+//! regenerates (a timed version of) one table or figure, and `ablations`
+//! covers the design-choice studies DESIGN.md calls out. The slot-count
+//! tables themselves are produced by the `repro` binary; the benches
+//! measure the *computational* cost of generating and evaluating schedules,
+//! which is what a downstream adopter of the library pays at runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rdv_core::channel::ChannelSet;
+use rdv_sim::algo::{AgentCtx, Algorithm, DynSchedule};
+use rdv_sim::workload::PairScenario;
+
+/// The standard adversarial scenario used across benches.
+pub fn scenario(n: u64, k: usize) -> PairScenario {
+    rdv_sim::workload::adversarial_overlap_one(n, k, k).expect("parameters fit")
+}
+
+/// Builds a schedule for benching, panicking on invalid parameters.
+pub fn build(algo: Algorithm, n: u64, set: &ChannelSet) -> DynSchedule {
+    algo.make(n, set, &AgentCtx::default())
+        .unwrap_or_else(|| panic!("{algo} failed to instantiate at n={n}"))
+}
+
+/// Measures one asynchronous TTR, panicking if the horizon is missed.
+pub fn measure_ttr(algo: Algorithm, n: u64, sc: &PairScenario, shift: u64) -> u64 {
+    let sa = build(algo, n, &sc.a);
+    let sb = build(algo, n, &sc.b);
+    let horizon = algo.horizon(n, sc.a.len(), sc.b.len());
+    rdv_core::verify::async_ttr(&sa, &sb, shift, horizon)
+        .unwrap_or(horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_work() {
+        let sc = scenario(16, 3);
+        let s = build(Algorithm::Ours, 16, &sc.a);
+        assert!(sc.a.contains(s.channel_at(0).get()));
+        assert!(measure_ttr(Algorithm::Ours, 16, &sc, 7) < 10_000);
+    }
+}

@@ -1,0 +1,62 @@
+//! Deterministic blind rendezvous for cognitive radio networks.
+//!
+//! This crate is the primary contribution of *Deterministic Blind Rendezvous
+//! in Cognitive Radio Networks* (Chen, Russell, Samanta, Sundaram; ICDCS
+//! 2014): channel-hopping schedules for **anonymous**, **asynchronous**,
+//! **asymmetric** radios that guarantee any two agents with overlapping
+//! channel sets `A`, `B ⊆ [n]` rendezvous within
+//! `O(|A|·|B|·log log n)` slots — and within `O(1)` slots when `A = B`.
+//!
+//! # Model
+//!
+//! Time is slotted; spectrum is the channel universe `[n] = {1, …, n}`. An
+//! agent with channel set `A` follows a schedule `σ_A : ℕ → A` starting at
+//! its own (unknown) wake-up time; two agents rendezvous the first slot they
+//! hop on the same channel simultaneously. Schedules may depend *only* on
+//! the agent's own channel set (anonymity).
+//!
+//! # Layout
+//!
+//! * [`channel`] — validated channel and channel-set types.
+//! * [`schedule`] — the [`Schedule`](schedule::Schedule) trait and basic
+//!   combinators.
+//! * [`pair`] — Theorem 1: `O(log log n)` schedules for sets of size two.
+//! * [`general`] — Theorem 3: the epoch construction for arbitrary sets.
+//! * [`symmetric`] — Section 3.2: the `O(1)`-symmetric wrapper.
+//! * [`verify`] — the measurement engine: exact synchronous/asynchronous
+//!   times-to-rendezvous, worst-case shift sweeps.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rdv_core::channel::ChannelSet;
+//! use rdv_core::general::GeneralSchedule;
+//! use rdv_core::schedule::Schedule;
+//! use rdv_core::verify;
+//!
+//! let n = 64;
+//! let a = ChannelSet::new(vec![3, 17, 40]).unwrap();
+//! let b = ChannelSet::new(vec![9, 17, 52, 60]).unwrap();
+//! let sa = GeneralSchedule::asynchronous(n, a).unwrap();
+//! let sb = GeneralSchedule::asynchronous(n, b).unwrap();
+//!
+//! // Whatever their relative wake-up offset, they meet:
+//! let ttr = verify::async_ttr(&sa, &sb, 12_345, 1_000_000).unwrap();
+//! assert_eq!(sa.channel_at(12_345 + ttr), sb.channel_at(ttr));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod general;
+pub mod pair;
+pub mod schedule;
+pub mod symmetric;
+pub mod verify;
+
+pub use channel::{Channel, ChannelSet, ChannelSetError};
+pub use general::GeneralSchedule;
+pub use pair::PairFamily;
+pub use schedule::Schedule;
+pub use symmetric::SymmetricWrapped;

@@ -1,0 +1,23 @@
+//! Number-theoretic substrate for the rendezvous constructions.
+//!
+//! * [`primes`] — sieving, deterministic Miller–Rabin primality for `u64`,
+//!   and the *two distinct primes in `[k, 3k]`* selection that Theorem 3 of
+//!   the paper relies on.
+//! * [`modular`] — overflow-safe modular arithmetic (`mul`, `pow`, inverse,
+//!   gcd).
+//! * [`crt`] — the Chinese Remainder Theorem solver used by the epoch
+//!   analysis of Theorem 3.
+//! * [`field`] — fixed-prime finite fields `F_p` and polynomials over them,
+//!   the basis of the `t`-wise independent hash families behind the
+//!   ε-min-wise permutations of Section 5 (Indyk's construction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crt;
+pub mod field;
+pub mod modular;
+pub mod primes;
+
+pub use crt::crt_pair;
+pub use primes::{is_prime, primes_in_range, two_primes_for_set_size, Sieve};

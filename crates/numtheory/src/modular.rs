@@ -1,0 +1,167 @@
+//! Overflow-safe modular arithmetic on `u64`.
+
+/// `(a + b) mod m`, safe for any operands `< m ≤ 2⁶³`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m > 0, "modulus must be positive");
+    let (a, b) = (a % m, b % m);
+    let (sum, overflow) = a.overflowing_add(b);
+    if overflow || sum >= m {
+        sum.wrapping_sub(m)
+    } else {
+        sum
+    }
+}
+
+/// `(a - b) mod m`, always in `[0, m)`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m > 0, "modulus must be positive");
+    let (a, b) = (a % m, b % m);
+    if a >= b {
+        a - b
+    } else {
+        a + (m - b)
+    }
+}
+
+/// `(a · b) mod m` via 128-bit intermediate, safe for any `u64` operands.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m > 0, "modulus must be positive");
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `aᵉ mod m` by binary exponentiation.
+///
+/// # Panics
+///
+/// Panics if `m == 0`. By convention `pow_mod(0, 0, m) == 1 % m`.
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    assert!(m > 0, "modulus must be positive");
+    let mut result = 1 % m;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = mul_mod(result, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    result
+}
+
+/// Greatest common divisor.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Extended Euclid on signed 128-bit values: returns `(g, x, y)` with
+/// `a·x + b·y = g = gcd(a, b)`.
+pub fn extended_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = extended_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Modular inverse of `a` mod `m`, if it exists (`gcd(a, m) == 1`).
+pub fn inv_mod(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    if m == 1 {
+        return Some(0);
+    }
+    let (g, x, _) = extended_gcd(a as i128, m as i128);
+    if g != 1 {
+        return None;
+    }
+    Some((x.rem_euclid(m as i128)) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_mod_wraparound() {
+        let m = u64::MAX - 58; // large modulus to exercise overflow path
+        assert_eq!(add_mod(m - 1, m - 1, m), m - 2);
+        assert_eq!(sub_mod(0, 1, m), m - 1);
+        assert_eq!(add_mod(5, 7, 10), 2);
+        assert_eq!(sub_mod(5, 7, 10), 8);
+    }
+
+    #[test]
+    fn mul_mod_large_operands() {
+        let m = (1u64 << 61) - 1;
+        assert_eq!(mul_mod(m - 1, m - 1, m), 1); // (-1)² = 1
+        assert_eq!(mul_mod(0, 12345, m), 0);
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // Fermat's little theorem on a few primes.
+        for p in [2u64, 3, 5, 7, 1_000_000_007, (1 << 61) - 1] {
+            for a in [2u64, 3, 10, 123456789] {
+                if a % p != 0 {
+                    assert_eq!(pow_mod(a, p - 1, p), 1, "a={a}, p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_mod_conventions() {
+        assert_eq!(pow_mod(0, 0, 7), 1);
+        assert_eq!(pow_mod(5, 0, 1), 0);
+        assert_eq!(pow_mod(2, 10, 1 << 62), 1024);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 9), 9);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+    }
+
+    #[test]
+    fn inv_mod_roundtrip() {
+        for m in [2u64, 7, 97, 1_000_000_007] {
+            for a in 1..m.min(200) {
+                if gcd(a, m) == 1 {
+                    let inv = inv_mod(a, m).unwrap();
+                    assert_eq!(mul_mod(a, inv, m), 1 % m, "a={a}, m={m}");
+                }
+            }
+        }
+        assert_eq!(inv_mod(6, 9), None);
+        assert_eq!(inv_mod(3, 0), None);
+        assert_eq!(inv_mod(42, 1), Some(0));
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        for (a, b) in [(240i128, 46), (17, 5), (0, 7), (12, 18)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(a * x + b * y, g, "({a},{b})");
+            assert_eq!(g, gcd(a as u64, b as u64) as i128);
+        }
+    }
+}

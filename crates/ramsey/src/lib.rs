@@ -1,0 +1,20 @@
+//! 2-Ramsey edge colorings of the linear poset and Ramsey-theoretic tools.
+//!
+//! Lemma 2 of the paper: the directed graph `L_n` on `[n]` with edges
+//! `(a, b)` for `a < b` admits an edge coloring with only `log♯ n` colors in
+//! which no directed path of length two is monochromatic. The coloring is
+//! the engine of the size-two schedules: channel pairs that share an element
+//! in "path position" are guaranteed *different* colors, hence different
+//! codewords, hence rendezvous by the `◇₁` property.
+//!
+//! The [`triangle`] module provides the converse tool used by Theorem 4's
+//! lower bound: searching an edge-colored complete graph for monochromatic
+//! triangles (whose existence for `n ≥ e·m!` dooms any short schedule).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod triangle;
+
+pub use coloring::PosetColoring;

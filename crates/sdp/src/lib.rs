@@ -1,0 +1,26 @@
+//! One-round rendezvous maximization (the paper's appendix).
+//!
+//! In the *graphical* case every agent has exactly two channels, so agents
+//! are edges of a graph on the channels, and choosing a channel for one
+//! round orients each edge. A pair of incident edges rendezvouses iff both
+//! point **into** their shared vertex (an *in-pair*). The appendix gives:
+//!
+//! * a trivial randomized `0.25`-approximation (orient uniformly at
+//!   random) — [`random_orientation_value`];
+//! * a `0.439`-approximation by solving a Goemans–Williamson-style
+//!   semidefinite program over *edge* vectors, rounding with a random
+//!   hyperplane, and playing the better of the rounded orientation and its
+//!   flip (`0.878 / 2 = 0.439`) — [`solve`].
+//!
+//! The SDP is solved by low-rank Burer–Monteiro projected gradient ascent
+//! (rank `⌈√(2m)⌉ + 1`, above the barrier for spurious local optima), which
+//! needs no external solver and is deterministic given the seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod solver;
+
+pub use graph::OrientGraph;
+pub use solver::{exact_max_in_pairs, random_orientation_value, solve, SdpConfig, SdpResult};

@@ -1,0 +1,29 @@
+//! The measurement harness: a discrete-time multi-agent simulator and the
+//! sweep machinery that regenerates the paper's evaluation.
+//!
+//! * [`algo`] — a uniform façade over every algorithm in the workspace
+//!   (ours, the three deterministic baselines, random hopping, the two
+//!   beacon protocols), so sweeps can be written once.
+//! * [`workload`] — scenario generators: adversarial overlap-one pairs,
+//!   random `k`-subsets, clustered spectrum, coalition (tiny sets in a huge
+//!   universe), symmetric.
+//! * [`engine`] — the multi-agent slot-by-slot simulator with wake times
+//!   and first-meeting detection.
+//! * [`sweep`] — pairwise worst/mean time-to-rendezvous sweeps over shifts
+//!   and seeds, parallelized with crossbeam.
+//! * [`stats`] — means, percentiles, and the log-log growth-exponent fits
+//!   used to check the paper's asymptotic claims empirically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod engine;
+pub mod spectrum;
+pub mod stats;
+pub mod sweep;
+pub mod workload;
+
+pub use algo::Algorithm;
+pub use engine::{MeetingReport, Simulation};
+pub use sweep::{sweep_pair_ttr, PairSweep, SweepConfig};

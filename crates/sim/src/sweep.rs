@@ -1,0 +1,255 @@
+//! Pairwise time-to-rendezvous sweeps — the engine behind the Table 1 and
+//! scaling experiments.
+
+use crate::algo::{AgentCtx, Algorithm};
+use crate::stats::Summary;
+use crate::workload::PairScenario;
+use rdv_core::verify;
+use serde::{Deserialize, Serialize};
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Number of relative wake-up shifts per scenario.
+    pub shifts: u64,
+    /// Stride between sampled shifts (1 = consecutive). Ignored when
+    /// `spread_over_period` is set and the schedule reports a period.
+    pub shift_stride: u64,
+    /// Derive the stride from the schedule period so the sampled shifts
+    /// cover one entire period — essential for worst-case (max) columns,
+    /// since adversarial shifts of the `O(n²)`/`O(n³)` baselines live deep
+    /// inside their periods.
+    pub spread_over_period: bool,
+    /// Seeds per scenario for randomized algorithms (ignored by
+    /// deterministic ones, which run a single seed).
+    pub seeds: u64,
+    /// Simulation cut-off override (0 = use the algorithm default).
+    pub horizon_override: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            shifts: 32,
+            shift_stride: 7,
+            spread_over_period: true,
+            seeds: 8,
+            horizon_override: 0,
+        }
+    }
+}
+
+/// The result of sweeping one `(algorithm, scenario)` cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairSweep {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Universe size.
+    pub n: u64,
+    /// `|A|`.
+    pub k: usize,
+    /// `|B|`.
+    pub ell: usize,
+    /// TTR summary over all (shift, seed) samples.
+    pub summary: Summary,
+    /// Number of samples that failed to rendezvous within the horizon.
+    pub failures: usize,
+    /// The horizon used.
+    pub horizon: u64,
+}
+
+/// Measures times-to-rendezvous for one algorithm on one scenario across
+/// wake-up shifts (and seeds, for randomized algorithms).
+///
+/// Samples that miss the horizon are *counted* in `failures` and excluded
+/// from the summary — for the deterministic algorithms a non-zero failure
+/// count within their guarantee horizon indicates a bug and is asserted
+/// against throughout the test suite.
+///
+/// Returns `None` if the algorithm cannot be instantiated on the scenario
+/// or every sample failed.
+pub fn sweep_pair_ttr(
+    algorithm: Algorithm,
+    n: u64,
+    scenario: &PairScenario,
+    cfg: &SweepConfig,
+) -> Option<PairSweep> {
+    let k = scenario.a.len();
+    let ell = scenario.b.len();
+    let horizon = if cfg.horizon_override > 0 {
+        cfg.horizon_override
+    } else {
+        algorithm.horizon(n, k, ell)
+    };
+    let seeds = if algorithm.is_deterministic() {
+        1
+    } else {
+        cfg.seeds.max(1)
+    };
+    let mut samples = Vec::new();
+    let mut failures = 0usize;
+
+    let stride = if cfg.spread_over_period {
+        // Probe one schedule for its period and spread shifts across it,
+        // with a prime-ish offset so we don't only sample period multiples.
+        algorithm
+            .make(n, &scenario.a, &AgentCtx::default())
+            .and_then(|s| s.period_hint())
+            .map(|p| (p / cfg.shifts.max(1)).max(1) | 1)
+            .unwrap_or(cfg.shift_stride.max(1))
+    } else {
+        cfg.shift_stride.max(1)
+    };
+    let shift_jobs: Vec<u64> = (0..cfg.shifts).map(|i| i * stride).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .min(shift_jobs.len().max(1));
+    let chunks: Vec<&[u64]> = shift_jobs.chunks(shift_jobs.len().div_ceil(threads)).collect();
+
+    let results: Vec<(Vec<u64>, usize)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    let mut local_failures = 0usize;
+                    for &shift in *chunk {
+                        for seed in 0..seeds {
+                            let ctx_a = AgentCtx {
+                                wake: 0,
+                                agent_seed: seed.wrapping_mul(2),
+                                shared_seed: seed,
+                            };
+                            let ctx_b = AgentCtx {
+                                wake: shift,
+                                agent_seed: seed.wrapping_mul(2) + 1,
+                                shared_seed: seed,
+                            };
+                            let (Some(sa), Some(sb)) = (
+                                algorithm.make(n, &scenario.a, &ctx_a),
+                                algorithm.make(n, &scenario.b, &ctx_b),
+                            ) else {
+                                local_failures += 1;
+                                continue;
+                            };
+                            match verify::async_ttr(&sa, &sb, shift, horizon) {
+                                Some(ttr) => local.push(ttr),
+                                None => local_failures += 1,
+                            }
+                        }
+                    }
+                    (local, local_failures)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+    })
+    .expect("crossbeam scope");
+
+    for (local, f) in results {
+        samples.extend(local);
+        failures += f;
+    }
+    let summary = Summary::of(&samples)?;
+    Some(PairSweep {
+        algorithm,
+        n,
+        k,
+        ell,
+        summary,
+        failures,
+        horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    #[test]
+    fn ours_sweeps_clean_on_adversarial_pairs() {
+        let scenario = workload::adversarial_overlap_one(16, 3, 3).unwrap();
+        let cfg = SweepConfig {
+            shifts: 16,
+            shift_stride: 11,
+            spread_over_period: false,
+            seeds: 1,
+            horizon_override: 0,
+        };
+        let sweep = sweep_pair_ttr(Algorithm::Ours, 16, &scenario, &cfg).unwrap();
+        assert_eq!(sweep.failures, 0, "deterministic guarantee violated");
+        assert!(sweep.summary.max <= sweep.horizon);
+        assert_eq!(sweep.k, 3);
+    }
+
+    #[test]
+    fn all_table1_algorithms_sweep_clean_small() {
+        let n = 8u64;
+        let scenario = workload::adversarial_overlap_one(n, 2, 3).unwrap();
+        let cfg = SweepConfig {
+            shifts: 8,
+            shift_stride: 13,
+            spread_over_period: false,
+            seeds: 1,
+            horizon_override: 0,
+        };
+        for algo in Algorithm::TABLE1 {
+            let sweep = sweep_pair_ttr(algo, n, &scenario, &cfg)
+                .unwrap_or_else(|| panic!("{algo} produced no samples"));
+            assert_eq!(sweep.failures, 0, "{algo} missed its horizon");
+        }
+    }
+
+    #[test]
+    fn random_algorithm_uses_seeds() {
+        let scenario = workload::adversarial_overlap_one(16, 3, 3).unwrap();
+        let cfg = SweepConfig {
+            shifts: 4,
+            shift_stride: 5,
+            spread_over_period: false,
+            seeds: 5,
+            horizon_override: 0,
+        };
+        let sweep = sweep_pair_ttr(Algorithm::Random, 16, &scenario, &cfg).unwrap();
+        assert_eq!(sweep.summary.count + sweep.failures, 4 * 5);
+    }
+
+    #[test]
+    fn symmetric_wrapper_is_constant_time() {
+        let scenario = workload::symmetric_pair(32, 5, 3).unwrap();
+        let cfg = SweepConfig {
+            shifts: 24,
+            shift_stride: 17,
+            spread_over_period: false,
+            seeds: 1,
+            horizon_override: 0,
+        };
+        let sweep =
+            sweep_pair_ttr(Algorithm::OursSymmetric, 32, &scenario, &cfg).unwrap();
+        assert_eq!(sweep.failures, 0);
+        assert!(
+            sweep.summary.max < 12,
+            "symmetric TTR {} should be < 12",
+            sweep.summary.max
+        );
+    }
+
+    #[test]
+    fn horizon_override_respected() {
+        let scenario = workload::adversarial_overlap_one(8, 2, 2).unwrap();
+        let cfg = SweepConfig {
+            shifts: 2,
+            shift_stride: 1,
+            spread_over_period: false,
+            seeds: 1,
+            horizon_override: 5,
+        };
+        let sweep = sweep_pair_ttr(Algorithm::Ours, 8, &scenario, &cfg);
+        if let Some(s) = sweep {
+            assert_eq!(s.horizon, 5);
+            assert!(s.summary.max < 5);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Scenario generators.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rdv_core::channel::ChannelSet;
+
+/// A pair of channel sets to be rendezvoused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairScenario {
+    /// First agent's set.
+    pub a: ChannelSet,
+    /// Second agent's set.
+    pub b: ChannelSet,
+}
+
+/// The adversarial geometry of Theorem 7: `|A| = k`, `|B| = ℓ`,
+/// `|A ∩ B| = 1`, with the shared channel placed at the boundary.
+///
+/// Returns `None` if `n < k + ℓ − 1`.
+pub fn adversarial_overlap_one(n: u64, k: usize, ell: usize) -> Option<PairScenario> {
+    if n < (k + ell - 1) as u64 {
+        return None;
+    }
+    let h = k as u64;
+    let a = ChannelSet::new(1..=h).expect("contiguous non-empty");
+    let b = ChannelSet::new(h..h + ell as u64).expect("contiguous non-empty");
+    Some(PairScenario { a, b })
+}
+
+/// Uniformly random size-`k` and size-`ℓ` subsets, resampled until they
+/// overlap (deterministic given the seed).
+///
+/// Returns `None` if `k > n` or `ell > n`.
+pub fn random_overlapping_pair(
+    n: u64,
+    k: usize,
+    ell: usize,
+    seed: u64,
+) -> Option<PairScenario> {
+    if k as u64 > n || ell as u64 > n {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let universe: Vec<u64> = (1..=n).collect();
+    loop {
+        let mut u = universe.clone();
+        u.shuffle(&mut rng);
+        let a = ChannelSet::new(u[..k].iter().copied()).expect("non-empty");
+        u.shuffle(&mut rng);
+        let b = ChannelSet::new(u[..ell].iter().copied()).expect("non-empty");
+        if a.overlaps(&b) {
+            return Some(PairScenario { a, b });
+        }
+    }
+}
+
+/// The symmetric scenario: both agents own the same set (random size-`k`).
+pub fn symmetric_pair(n: u64, k: usize, seed: u64) -> Option<PairScenario> {
+    if k as u64 > n {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut u: Vec<u64> = (1..=n).collect();
+    u.shuffle(&mut rng);
+    let a = ChannelSet::new(u[..k].iter().copied()).expect("non-empty");
+    Some(PairScenario {
+        b: a.clone(),
+        a,
+    })
+}
+
+/// The "coalition" scenario of the paper's introduction: a huge universe
+/// (`n` in the millions) with two small sets sharing a designated band.
+///
+/// `band` channels around the middle of the spectrum are common; each set
+/// additionally gets `k − band` private channels scattered by seed.
+///
+/// Returns `None` if the parameters do not fit (`band > k`, or universe too
+/// small).
+pub fn coalition_pair(n: u64, k: usize, band: usize, seed: u64) -> Option<PairScenario> {
+    if band > k || (2 * k) as u64 > n || band == 0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mid = n / 2;
+    let shared: Vec<u64> = (0..band as u64).map(|i| mid + i).collect();
+    let mut sample_private = |avoid_lo: u64, avoid_hi: u64| -> Vec<u64> {
+        let mut out = Vec::new();
+        while out.len() < k - band {
+            let c = rng.gen_range(1..=n);
+            if (c < avoid_lo || c > avoid_hi) && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    };
+    let pa: Vec<u64> = sample_private(mid, mid + band as u64);
+    let pb: Vec<u64> = {
+        let mut v;
+        loop {
+            v = sample_private(mid, mid + band as u64);
+            if v.iter().all(|c| !pa.contains(c)) {
+                break;
+            }
+        }
+        v
+    };
+    let a = ChannelSet::new(shared.iter().copied().chain(pa)).ok()?;
+    let b = ChannelSet::new(shared.iter().copied().chain(pb)).ok()?;
+    Some(PairScenario { a, b })
+}
+
+/// A clustered-spectrum population: `count` agents, each owning a
+/// contiguous block of `k` channels starting at a seeded position — models
+/// devices camped on neighboring bands (TV white space style).
+pub fn clustered_population(n: u64, k: usize, count: usize, seed: u64) -> Vec<ChannelSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let start = rng.gen_range(1..=n - k as u64 + 1);
+            ChannelSet::new(start..start + k as u64).expect("contiguous non-empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_geometry() {
+        let s = adversarial_overlap_one(16, 3, 4).unwrap();
+        assert_eq!(s.a.len(), 3);
+        assert_eq!(s.b.len(), 4);
+        assert_eq!(s.a.intersection(&s.b).len(), 1);
+        assert!(adversarial_overlap_one(4, 3, 4).is_none());
+    }
+
+    #[test]
+    fn random_pairs_overlap_and_are_deterministic() {
+        let x = random_overlapping_pair(32, 4, 5, 7).unwrap();
+        let y = random_overlapping_pair(32, 4, 5, 7).unwrap();
+        assert_eq!(x, y);
+        assert!(x.a.overlaps(&x.b));
+        assert_eq!(x.a.len(), 4);
+        assert_eq!(x.b.len(), 5);
+    }
+
+    #[test]
+    fn symmetric_pairs_are_equal() {
+        let s = symmetric_pair(20, 6, 3).unwrap();
+        assert_eq!(s.a, s.b);
+        assert_eq!(s.a.len(), 6);
+        assert!(symmetric_pair(4, 6, 3).is_none());
+    }
+
+    #[test]
+    fn coalition_band_is_shared() {
+        let s = coalition_pair(1 << 20, 5, 2, 11).unwrap();
+        assert_eq!(s.a.len(), 5);
+        assert_eq!(s.b.len(), 5);
+        let common = s.a.intersection(&s.b);
+        assert_eq!(common.len(), 2, "exactly the band is shared");
+    }
+
+    #[test]
+    fn clustered_blocks_are_contiguous() {
+        let pop = clustered_population(100, 4, 10, 5);
+        assert_eq!(pop.len(), 10);
+        for set in &pop {
+            let s = set.as_slice();
+            assert_eq!(s.len(), 4);
+            assert!(s.windows(2).all(|w| w[1] == w[0] + 1));
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert!(random_overlapping_pair(3, 5, 2, 0).is_none());
+        assert!(coalition_pair(10, 3, 4, 0).is_none());
+        assert!(coalition_pair(10, 3, 0, 0).is_none());
+    }
+}

@@ -1,0 +1,498 @@
+//! A compact, ordered binary string.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An immutable-length-friendly binary string stored 64 bits per word.
+///
+/// `Bits` is the workhorse type of the rendezvous constructions: schedules
+/// for channel sets of size two are binary strings (`0` = hop on the smaller
+/// channel, `1` = hop on the larger channel), and every transform of
+/// Section 3 of the paper manipulates such strings.
+///
+/// Bit `0` is the *first* symbol of the string; [`Bits::encode_int`] uses the
+/// paper's canonical MSB-first, left-zero-padded integer encoding.
+///
+/// # Example
+///
+/// ```
+/// use rdv_strings::Bits;
+///
+/// let b: Bits = "110001".parse().unwrap();
+/// assert_eq!(b.len(), 6);
+/// assert_eq!(b.weight(), 3);
+/// assert_eq!(b.cyclic_shift(2).to_string(), "000111");
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bits {
+    /// Creates an empty string.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty string with capacity for `n` bits.
+    pub fn with_capacity(n: usize) -> Self {
+        Bits {
+            words: Vec::with_capacity(n.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Creates a string of `n` copies of `bit`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rdv_strings::Bits;
+    /// assert_eq!(Bits::repeat(true, 3).to_string(), "111");
+    /// ```
+    pub fn repeat(bit: bool, n: usize) -> Self {
+        let mut b = Bits::with_capacity(n);
+        for _ in 0..n {
+            b.push(bit);
+        }
+        b
+    }
+
+    /// Builds a string from a slice of bools (`true` = `1`).
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut b = Bits::with_capacity(bools.len());
+        for &bit in bools {
+            b.push(bit);
+        }
+        b
+    }
+
+    /// The paper's canonical base-two encoding of `value`, zero-padded on the
+    /// left to exactly `width` bits (MSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits or `width > 64`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rdv_strings::Bits;
+    /// assert_eq!(Bits::encode_int(5, 4).to_string(), "0101");
+    /// ```
+    pub fn encode_int(value: u64, width: u32) -> Self {
+        assert!(width <= 64, "width {width} exceeds 64 bits");
+        if width < 64 {
+            assert!(
+                value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+        }
+        let mut b = Bits::with_capacity(width as usize);
+        for i in (0..width).rev() {
+            b.push((value >> i) & 1 == 1);
+        }
+        b
+    }
+
+    /// Decodes a canonical MSB-first encoding back to an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string is longer than 64 bits.
+    pub fn decode_int(&self) -> u64 {
+        assert!(self.len <= 64, "string too long to decode as u64");
+        let mut v = 0u64;
+        for bit in self.iter() {
+            v = (v << 1) | u64::from(bit);
+        }
+        v
+    }
+
+    /// Number of bits in the string.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let off = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// The bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// The bit at position `i mod self.len()`, for cyclic schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string is empty.
+    pub fn get_cyclic(&self, i: u64) -> bool {
+        assert!(!self.is_empty(), "cyclic access into an empty string");
+        self.get((i % self.len as u64) as usize)
+    }
+
+    /// Sets the bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, bit: bool) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let mask = 1u64 << (i % 64);
+        if bit {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Iterates over the bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// The number of `1`s, written `wt(x)` in the paper.
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Coordinatewise negation `x̄`.
+    pub fn complement(&self) -> Self {
+        let mut out = Bits::with_capacity(self.len);
+        for bit in self.iter() {
+            out.push(!bit);
+        }
+        out
+    }
+
+    /// Concatenation `self ∘ other`.
+    pub fn concat(&self, other: &Bits) -> Self {
+        let mut out = self.clone();
+        out.extend_bits(other);
+        out
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend_bits(&mut self, other: &Bits) {
+        for bit in other.iter() {
+            self.push(bit);
+        }
+    }
+
+    /// The cyclic shift `Sⁱx`: the string `x_i x_{i+1} … x_{i-1}` that results
+    /// from rotating `x` forward by `i` symbols.
+    ///
+    /// Shifting an empty string returns an empty string.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rdv_strings::Bits;
+    /// let x: Bits = "1100".parse().unwrap();
+    /// assert_eq!(x.cyclic_shift(1).to_string(), "1001");
+    /// ```
+    pub fn cyclic_shift(&self, i: usize) -> Self {
+        if self.is_empty() {
+            return Bits::new();
+        }
+        let n = self.len;
+        let i = i % n;
+        let mut out = Bits::with_capacity(n);
+        for j in 0..n {
+            out.push(self.get((i + j) % n));
+        }
+        out
+    }
+
+    /// The substring `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        assert!(
+            start <= end && end <= self.len,
+            "invalid slice [{start}, {end}) of string of length {}",
+            self.len
+        );
+        let mut out = Bits::with_capacity(end - start);
+        for i in start..end {
+            out.push(self.get(i));
+        }
+        out
+    }
+
+    /// Inserts the bits of `insert` so they begin at position `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn insert_at(&self, at: usize, insert: &Bits) -> Self {
+        assert!(at <= self.len, "insert position {at} out of bounds");
+        let mut out = Bits::with_capacity(self.len + insert.len());
+        out.extend_bits(&self.slice(0, at));
+        out.extend_bits(insert);
+        out.extend_bits(&self.slice(at, self.len));
+        out
+    }
+
+    /// Removes the bits in `[start, start + count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn remove_range(&self, start: usize, count: usize) -> Self {
+        assert!(start + count <= self.len, "remove range out of bounds");
+        let mut out = Bits::with_capacity(self.len - count);
+        out.extend_bits(&self.slice(0, start));
+        out.extend_bits(&self.slice(start + count, self.len));
+        out
+    }
+
+    /// Complements the first `i` bits, leaving the rest unchanged (the
+    /// prefix-flip primitive of the Knuth balancing map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > self.len()`.
+    pub fn flip_prefix(&self, i: usize) -> Self {
+        assert!(i <= self.len, "prefix length {i} out of bounds");
+        let mut out = self.clone();
+        for j in 0..i {
+            let b = out.get(j);
+            out.set(j, !b);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for bit in self.iter() {
+            f.write_str(if bit { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits(\"{self}\")")
+    }
+}
+
+/// Error returned when parsing a [`Bits`] from a string containing characters
+/// other than `0` and `1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitsError {
+    offending: char,
+}
+
+impl fmt::Display for ParseBitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bit character {:?}, expected 0 or 1", self.offending)
+    }
+}
+
+impl std::error::Error for ParseBitsError {}
+
+impl FromStr for Bits {
+    type Err = ParseBitsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut b = Bits::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '0' => b.push(false),
+                '1' => b.push(true),
+                other => return Err(ParseBitsError { offending: other }),
+            }
+        }
+        Ok(b)
+    }
+}
+
+impl FromIterator<bool> for Bits {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut b = Bits::new();
+        for bit in iter {
+            b.push(bit);
+        }
+        b
+    }
+}
+
+impl Extend<bool> for Bits {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for bit in iter {
+            self.push(bit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut b = Bits::new();
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        for &bit in &pattern {
+            b.push(bit);
+        }
+        assert_eq!(b.len(), 200);
+        for (i, &bit) in pattern.iter().enumerate() {
+            assert_eq!(b.get(i), bit, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["", "0", "1", "0110", "111000111000", "01"] {
+            let b: Bits = s.parse().unwrap();
+            assert_eq!(b.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("01x".parse::<Bits>().is_err());
+        assert!("2".parse::<Bits>().is_err());
+    }
+
+    #[test]
+    fn encode_decode_int() {
+        for v in 0u64..256 {
+            let b = Bits::encode_int(v, 9);
+            assert_eq!(b.len(), 9);
+            assert_eq!(b.decode_int(), v);
+        }
+        assert_eq!(Bits::encode_int(0, 0).len(), 0);
+        assert_eq!(Bits::encode_int(u64::MAX, 64).decode_int(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn encode_int_overflow_panics() {
+        Bits::encode_int(8, 3);
+    }
+
+    #[test]
+    fn weight_counts_ones() {
+        let b: Bits = "0110111".parse().unwrap();
+        assert_eq!(b.weight(), 5);
+        assert_eq!(Bits::repeat(false, 100).weight(), 0);
+        assert_eq!(Bits::repeat(true, 100).weight(), 100);
+    }
+
+    #[test]
+    fn complement_involution() {
+        let b: Bits = "0011010".parse().unwrap();
+        assert_eq!(b.complement().complement(), b);
+        assert_eq!(b.complement().to_string(), "1100101");
+    }
+
+    #[test]
+    fn concat_is_associative_on_samples() {
+        let a: Bits = "01".parse().unwrap();
+        let b: Bits = "110".parse().unwrap();
+        let c: Bits = "0".parse().unwrap();
+        assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+        assert_eq!(a.concat(&b).to_string(), "01110");
+    }
+
+    #[test]
+    fn cyclic_shift_behaves() {
+        let x: Bits = "10010".parse().unwrap();
+        assert_eq!(x.cyclic_shift(0), x);
+        assert_eq!(x.cyclic_shift(5), x);
+        assert_eq!(x.cyclic_shift(1).to_string(), "00101");
+        assert_eq!(x.cyclic_shift(2).to_string(), "01010");
+        assert_eq!(x.cyclic_shift(7), x.cyclic_shift(2));
+        assert_eq!(Bits::new().cyclic_shift(3), Bits::new());
+    }
+
+    #[test]
+    fn shift_composition() {
+        let x: Bits = "1101001".parse().unwrap();
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(
+                    x.cyclic_shift(i).cyclic_shift(j),
+                    x.cyclic_shift(i + j),
+                    "S^{j} S^{i} == S^{}",
+                    i + j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_insert_remove() {
+        let x: Bits = "110010".parse().unwrap();
+        assert_eq!(x.slice(1, 4).to_string(), "100");
+        let ins: Bits = "1010".parse().unwrap();
+        let y = x.insert_at(2, &ins);
+        assert_eq!(y.to_string(), "1110100010");
+        assert_eq!(y.remove_range(2, 4), x);
+    }
+
+    #[test]
+    fn flip_prefix_flips_exactly_prefix() {
+        let x: Bits = "101010".parse().unwrap();
+        assert_eq!(x.flip_prefix(0), x);
+        assert_eq!(x.flip_prefix(3).to_string(), "010010");
+        assert_eq!(x.flip_prefix(6).to_string(), "010101");
+        assert_eq!(x.flip_prefix(3).flip_prefix(3), x);
+    }
+
+    #[test]
+    fn get_cyclic_wraps() {
+        let x: Bits = "100".parse().unwrap();
+        assert!(x.get_cyclic(0));
+        assert!(!x.get_cyclic(1));
+        assert!(x.get_cyclic(3));
+        assert!(x.get_cyclic(300));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_storage() {
+        // Bits derives Ord on (words, len); we only rely on Eq/Hash semantics,
+        // but Ord must at least be consistent with Eq.
+        let a: Bits = "01".parse().unwrap();
+        let b: Bits = "01".parse().unwrap();
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let b: Bits = [true, false, true].into_iter().collect();
+        assert_eq!(b.to_string(), "101");
+        let mut c = b.clone();
+        c.extend([false, false]);
+        assert_eq!(c.to_string(), "10100");
+    }
+}

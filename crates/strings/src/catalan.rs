@@ -1,0 +1,301 @@
+//! The invertible Catalanization map `U(z)` of Section 3 and the bracketing
+//! `1 ∘ U(·) ∘ 0` that produces strictly Catalan strings.
+//!
+//! For a balanced string `z`, let `c` be the least rotation for which `S^c z`
+//! is Catalan (one exists by the cycle lemma). The paper defines
+//!
+//! ```text
+//! U(z) = (S^c z) ∘ 1^{ℓ/2} ∘ K(c₂) ∘ 0^{ℓ/2},     ℓ = |K(c₂)|
+//! ```
+//!
+//! The tail `1^{ℓ/2} ∘ K(c₂) ∘ 0^{ℓ/2}` is itself Catalan (the balanced
+//! middle block can never descend below the `ℓ/2` head-room provided by the
+//! leading run of `1`s), so `U(z)` — a concatenation of Catalan strings — is
+//! Catalan; and since the rotation `c` is recorded inside the string, `U` is
+//! injective.
+
+use crate::knuth::KnuthCode;
+use crate::walk::{catalan_rotation, Walk};
+use crate::{log_sharp, Bits};
+
+/// The Catalanization code for balanced inputs of a fixed (even) length.
+///
+/// # Example
+///
+/// ```
+/// use rdv_strings::{Bits, catalan::CatalanCode, walk::Walk};
+///
+/// let code = CatalanCode::new(6);
+/// let z: Bits = "001011".parse().unwrap(); // balanced, not Catalan
+/// let u = code.encode(&z).unwrap();
+/// assert!(Walk::new(&u).is_catalan());
+/// assert_eq!(code.decode(&u), Some(z));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CatalanCode {
+    input_len: usize,
+    shift_code: KnuthCode,
+}
+
+impl CatalanCode {
+    /// Creates the code for balanced inputs of exactly `input_len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_len` is odd (balanced strings have even length).
+    pub fn new(input_len: usize) -> Self {
+        assert!(input_len % 2 == 0, "balanced strings have even length");
+        let shift_width = if input_len <= 1 {
+            1
+        } else {
+            log_sharp(input_len as u64) as usize
+        };
+        CatalanCode {
+            input_len,
+            shift_code: KnuthCode::new(shift_width),
+        }
+    }
+
+    /// The input length this code accepts.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Length of every codeword: `input_len + 2·|K(c₂)|`.
+    pub fn output_len(&self) -> usize {
+        self.input_len + 2 * self.shift_code.output_len()
+    }
+
+    /// Encodes a balanced string into a Catalan string.
+    ///
+    /// Returns `None` if `z` has the wrong length or is not balanced.
+    pub fn encode(&self, z: &Bits) -> Option<Bits> {
+        if z.len() != self.input_len {
+            return None;
+        }
+        if self.input_len == 0 {
+            // U of the empty string: just the (empty-shift) tail.
+            let e = self.shift_code.encode(&Bits::encode_int(0, 1));
+            return Some(self.tail(&e));
+        }
+        let c = catalan_rotation(z)?;
+        let rotated = z.cyclic_shift(c);
+        let c2 = Bits::encode_int(c as u64, self.shift_code.input_len() as u32);
+        let k = self.shift_code.encode(&c2);
+        let mut out = rotated;
+        out.extend_bits(&self.tail(&k));
+        debug_assert_eq!(out.len(), self.output_len());
+        debug_assert!(Walk::new(&out).is_catalan());
+        Some(out)
+    }
+
+    /// `1^{ℓ/2} ∘ k ∘ 0^{ℓ/2}` for `ℓ = |k|`.
+    fn tail(&self, k: &Bits) -> Bits {
+        let half = k.len() / 2;
+        let mut t = Bits::repeat(true, half);
+        t.extend_bits(k);
+        t.extend_bits(&Bits::repeat(false, half));
+        t
+    }
+
+    /// Decodes a codeword back to the original balanced string.
+    ///
+    /// Returns `None` for malformed codewords.
+    pub fn decode(&self, u: &Bits) -> Option<Bits> {
+        if u.len() != self.output_len() {
+            return None;
+        }
+        let ell = self.shift_code.output_len();
+        let half = ell / 2;
+        let rotated = u.slice(0, self.input_len);
+        // Verify the framing runs.
+        let head = u.slice(self.input_len, self.input_len + half);
+        let tail = u.slice(self.input_len + half + ell, self.output_len());
+        if head != Bits::repeat(true, half) || tail != Bits::repeat(false, half) {
+            return None;
+        }
+        let k = u.slice(self.input_len + half, self.input_len + half + ell);
+        let c2 = self.shift_code.decode(&k)?;
+        let c = c2.decode_int() as usize;
+        if self.input_len == 0 {
+            return Some(Bits::new());
+        }
+        if c >= self.input_len {
+            return None;
+        }
+        // Undo the forward rotation by c.
+        Some(rotated.cyclic_shift(self.input_len - c))
+    }
+}
+
+/// The full strictly-Catalan pipeline `z ↦ 1 ∘ U(K(z)) ∘ 0` used by the
+/// asynchronous construction, for inputs of a fixed arbitrary length.
+///
+/// # Example
+///
+/// ```
+/// use rdv_strings::{Bits, catalan::StrictCatalanCode, walk::Walk};
+///
+/// let code = StrictCatalanCode::new(4);
+/// let x: Bits = "0110".parse().unwrap();
+/// let s = code.encode(&x);
+/// assert!(Walk::new(&s).is_strictly_catalan());
+/// assert_eq!(code.decode(&s), Some(x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrictCatalanCode {
+    balance: KnuthCode,
+    catalan: CatalanCode,
+}
+
+impl StrictCatalanCode {
+    /// Creates the code for inputs of exactly `input_len` bits.
+    pub fn new(input_len: usize) -> Self {
+        let balance = KnuthCode::new(input_len);
+        let catalan = CatalanCode::new(balance.output_len());
+        StrictCatalanCode { balance, catalan }
+    }
+
+    /// The input length this code accepts.
+    pub fn input_len(&self) -> usize {
+        self.balance.input_len()
+    }
+
+    /// Length of every codeword: `|U(K(z))| + 2`.
+    pub fn output_len(&self) -> usize {
+        self.catalan.output_len() + 2
+    }
+
+    /// Encodes `z` into a strictly Catalan string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != self.input_len()`.
+    pub fn encode(&self, z: &Bits) -> Bits {
+        let balanced = self.balance.encode(z);
+        let catalan = self
+            .catalan
+            .encode(&balanced)
+            .expect("Knuth output is balanced by construction");
+        let mut out = Bits::with_capacity(catalan.len() + 2);
+        out.push(true);
+        out.extend_bits(&catalan);
+        out.push(false);
+        debug_assert!(Walk::new(&out).is_strictly_catalan());
+        out
+    }
+
+    /// Decodes a codeword back to the original string.
+    ///
+    /// Returns `None` for malformed codewords.
+    pub fn decode(&self, s: &Bits) -> Option<Bits> {
+        if s.len() != self.output_len() {
+            return None;
+        }
+        if !s.get(0) || s.get(s.len() - 1) {
+            return None;
+        }
+        let inner = s.slice(1, s.len() - 1);
+        let balanced = self.catalan.decode(&inner)?;
+        self.balance.decode(&balanced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced_strings(len: usize) -> Vec<Bits> {
+        (0u64..(1 << len))
+            .map(|v| Bits::encode_int(v, len as u32))
+            .filter(|b| b.weight() * 2 == b.len())
+            .collect()
+    }
+
+    #[test]
+    fn catalan_code_exhaustive_small() {
+        for len in [0usize, 2, 4, 6, 8] {
+            let code = CatalanCode::new(len);
+            for z in balanced_strings(len) {
+                let u = code.encode(&z).expect("balanced input");
+                assert!(Walk::new(&u).is_catalan(), "U({z}) = {u} not Catalan");
+                assert_eq!(code.decode(&u), Some(z.clone()), "roundtrip {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn catalan_code_rejects_unbalanced() {
+        let code = CatalanCode::new(4);
+        assert_eq!(code.encode(&"1110".parse().unwrap()), None);
+        assert_eq!(code.encode(&"111".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn catalan_code_injective() {
+        let code = CatalanCode::new(6);
+        let mut seen = std::collections::HashSet::new();
+        for z in balanced_strings(6) {
+            assert!(seen.insert(code.encode(&z).unwrap()), "collision at {z}");
+        }
+    }
+
+    #[test]
+    fn strict_code_exhaustive_small() {
+        for len in 0..=8 {
+            let code = StrictCatalanCode::new(len);
+            for v in 0u64..(1 << len) {
+                let z = Bits::encode_int(v, len as u32);
+                let s = code.encode(&z);
+                assert!(
+                    Walk::new(&s).is_strictly_catalan(),
+                    "pipeline({z}) = {s} not strictly Catalan"
+                );
+                assert_eq!(s.len(), code.output_len());
+                assert_eq!(code.decode(&s), Some(z.clone()), "roundtrip {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_code_output_len_grows_logarithmically() {
+        // |R'(z)| ≤ |z| + O(log |z|): sanity-check the additive overhead.
+        for len in [4usize, 8, 16, 64, 256] {
+            let code = StrictCatalanCode::new(len);
+            let overhead = code.output_len() - len;
+            assert!(
+                overhead <= 6 * log_sharp(len as u64 + 2) as usize + 16,
+                "len {len}: overhead {overhead}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let code = StrictCatalanCode::new(4);
+        let s = code.encode(&"1010".parse().unwrap());
+        // Wrong length.
+        assert_eq!(code.decode(&s.slice(0, s.len() - 1)), None);
+        // Break the leading 1.
+        let mut bad = s.clone();
+        bad.set(0, false);
+        assert_eq!(code.decode(&bad), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_strict_pipeline(v in proptest::collection::vec(any::<bool>(), 0..64)) {
+            let z = Bits::from_bools(&v);
+            let code = StrictCatalanCode::new(z.len());
+            let s = code.encode(&z);
+            prop_assert!(Walk::new(&s).is_strictly_catalan());
+            prop_assert_eq!(code.decode(&s), Some(z));
+        }
+    }
+}

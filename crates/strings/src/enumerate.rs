@@ -1,0 +1,173 @@
+//! Enumeration of the string classes of Section 3, with closed-form
+//! cardinalities as cross-checks.
+//!
+//! These enumerators power exhaustive tests elsewhere in the workspace and
+//! pin the combinatorial predicates to textbook sequences: balanced strings
+//! of length `2m` are counted by `C(2m, m)`, Catalan strings by the Catalan
+//! numbers `C_m`, and strictly Catalan strings of length `2m` by `C_{m−1}`
+//! (strip the forced `1…0` bracket).
+
+use crate::walk::Walk;
+use crate::Bits;
+
+/// All binary strings of the given length, in numeric order.
+///
+/// # Panics
+///
+/// Panics if `len > 30` (enumeration blow-up guard).
+pub fn all_strings(len: usize) -> Vec<Bits> {
+    assert!(len <= 30, "enumeration limited to length 30");
+    (0u64..(1 << len))
+        .map(|v| Bits::encode_int(v, len as u32))
+        .collect()
+}
+
+/// All balanced strings of the given (even) length.
+pub fn balanced_strings(len: usize) -> Vec<Bits> {
+    all_strings(len)
+        .into_iter()
+        .filter(|b| Walk::new(b).is_balanced())
+        .collect()
+}
+
+/// All Catalan strings of the given (even) length.
+pub fn catalan_strings(len: usize) -> Vec<Bits> {
+    all_strings(len)
+        .into_iter()
+        .filter(|b| Walk::new(b).is_catalan())
+        .collect()
+}
+
+/// All strictly Catalan strings of the given (even) length.
+pub fn strictly_catalan_strings(len: usize) -> Vec<Bits> {
+    all_strings(len)
+        .into_iter()
+        .filter(|b| Walk::new(b).is_strictly_catalan())
+        .collect()
+}
+
+/// The `m`-th Catalan number `C_m = C(2m, m) / (m + 1)`.
+///
+/// # Panics
+///
+/// Panics if the value overflows `u64` (`m > 33`).
+pub fn catalan_number(m: u64) -> u64 {
+    let mut c: u64 = 1;
+    for i in 0..m {
+        // C_{i+1} = C_i · 2(2i+1)/(i+2), kept exact by multiplying first.
+        c = c
+            .checked_mul(2 * (2 * i + 1))
+            .expect("Catalan number overflow")
+            / (i + 2);
+    }
+    c
+}
+
+/// The central binomial coefficient `C(2m, m)`.
+///
+/// # Panics
+///
+/// Panics on overflow (`m > 30`).
+pub fn central_binomial(m: u64) -> u64 {
+    let mut c: u64 = 1;
+    for i in 0..m {
+        c = c.checked_mul(2 * m - i).expect("binomial overflow") / (i + 1);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalan_numbers_match_oeis() {
+        // OEIS A000108.
+        let expected = [1u64, 1, 2, 5, 14, 42, 132, 429, 1430, 4862];
+        for (m, &want) in expected.iter().enumerate() {
+            assert_eq!(catalan_number(m as u64), want, "C_{m}");
+        }
+    }
+
+    #[test]
+    fn central_binomials_match() {
+        let expected = [1u64, 2, 6, 20, 70, 252, 924];
+        for (m, &want) in expected.iter().enumerate() {
+            assert_eq!(central_binomial(m as u64), want, "C(2·{m},{m})");
+        }
+    }
+
+    #[test]
+    fn balanced_counts_are_central_binomials() {
+        for m in 0..=6usize {
+            assert_eq!(
+                balanced_strings(2 * m).len() as u64,
+                central_binomial(m as u64),
+                "balanced strings of length {}",
+                2 * m
+            );
+        }
+    }
+
+    #[test]
+    fn catalan_counts_are_catalan_numbers() {
+        for m in 0..=6usize {
+            assert_eq!(
+                catalan_strings(2 * m).len() as u64,
+                catalan_number(m as u64),
+                "Catalan strings of length {}",
+                2 * m
+            );
+        }
+    }
+
+    #[test]
+    fn strictly_catalan_counts_shift_by_one() {
+        // 1 ∘ z ∘ 0 with z Catalan ⇒ count at length 2m is C_{m−1}.
+        for m in 1..=6usize {
+            assert_eq!(
+                strictly_catalan_strings(2 * m).len() as u64,
+                catalan_number(m as u64 - 1),
+                "strictly Catalan strings of length {}",
+                2 * m
+            );
+        }
+    }
+
+    #[test]
+    fn odd_lengths_have_no_balanced_strings() {
+        for len in [1usize, 3, 5, 7] {
+            assert!(balanced_strings(len).is_empty());
+            assert!(catalan_strings(len).is_empty());
+            assert!(strictly_catalan_strings(len).is_empty());
+        }
+    }
+
+    #[test]
+    fn every_balanced_string_has_a_catalan_rotation() {
+        // The cycle-lemma fact the U map relies on, exhaustively.
+        use crate::walk::catalan_rotation;
+        for z in balanced_strings(10) {
+            let c = catalan_rotation(&z).expect("balanced");
+            assert!(Walk::new(&z.cyclic_shift(c)).is_catalan(), "{z}");
+        }
+    }
+
+    #[test]
+    fn catalan_rotations_are_unique_iff_strictly_catalan_after_bracketing() {
+        // A strictly Catalan string has exactly ONE Catalan rotation
+        // (itself): the uniqueness behind the ◇₁ argument.
+        for z in strictly_catalan_strings(10) {
+            let catalan_rots = (0..z.len())
+                .filter(|&c| Walk::new(&z.cyclic_shift(c)).is_catalan())
+                .count();
+            assert_eq!(catalan_rots, 1, "{z} has {catalan_rots} Catalan rotations");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to length 30")]
+    fn enumeration_guard() {
+        all_strings(31);
+    }
+}

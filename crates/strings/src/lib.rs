@@ -1,0 +1,127 @@
+//! Binary-string substrate for deterministic blind rendezvous.
+//!
+//! This crate implements the combinatorial string machinery of Section 3 of
+//! *Deterministic Blind Rendezvous in Cognitive Radio Networks* (Chen,
+//! Russell, Samanta, Sundaram; ICDCS 2014):
+//!
+//! * [`Bits`] — a compact, ordered binary string with the cyclic-shift,
+//!   weight, complement and concatenation operations the constructions need.
+//! * [`walk`] — the "graph" `G_z` of a string (Figure 1 of the paper): the
+//!   lattice walk in which each `1` steps northeast and each `0` southeast,
+//!   together with the derived predicates *balanced*, *Catalan*, *strictly
+//!   Catalan* and *t-maximal / t-minimal*.
+//! * [`knuth`] — the invertible Knuth balancing map `K(x)` (Knuth, *Efficient
+//!   balanced codes*, 1986) that carries arbitrary strings to balanced ones
+//!   with only `O(log |x|)` overhead.
+//! * [`catalan`] — the invertible map `U(z)` that rotates a balanced string
+//!   to a Catalan one while recording the rotation, and the bracketing
+//!   `1 ∘ U(·) ∘ 0` that makes it strictly Catalan.
+//! * [`maximal`] — the invertible 2-maximality transform `M(z)` (Figure 3)
+//!   that inserts `1010` at a maximal point of the walk.
+//! * [`diamond`] — the rendezvous conditions `♦₀`, `♦₁` and their cyclic
+//!   closures `◇₀`, `◇₁` (conditions (1), (2) and (5) in the paper).
+//! * [`cmap`] — the synchronous pair code `C(x) = 01 ∘ x ∘ wt(x)₂`.
+//! * [`rmap`] — the asynchronous pair code `R(x) = M(1 ∘ U(K(x)) ∘ 0)`,
+//!   which is balanced, strictly Catalan, 2-maximal and injective; these
+//!   four properties together guarantee `x = y ⇒ R(x) ◇₀ R(y)` and
+//!   `x ≠ y ⇒ R(x) ◇₁ R(y)`.
+//! * [`render`] — ASCII renderings of string walks reproducing Figures 1–3.
+//!
+//! # Example
+//!
+//! ```
+//! use rdv_strings::{Bits, rmap::RCode};
+//!
+//! // Encode the 3-bit color 0b101 into an asynchronous rendezvous codeword.
+//! let color = Bits::encode_int(0b101, 3);
+//! let code = RCode::new(3);
+//! let word = code.encode(&color);
+//! assert!(word.as_bits().len() % 2 == 0); // balanced strings have even length
+//! assert_eq!(code.decode(word.as_bits()), Some(color));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+pub mod catalan;
+pub mod cmap;
+pub mod diamond;
+pub mod enumerate;
+pub mod knuth;
+pub mod maximal;
+pub mod render;
+pub mod rmap;
+pub mod walk;
+
+pub use bits::Bits;
+
+/// The paper's `log♯ n ≜ ⌈log₂ n⌉` shorthand.
+///
+/// `log_sharp(1) == 0`, `log_sharp(2) == 1`, `log_sharp(3) == 2`,
+/// `log_sharp(4) == 2`, and so on.
+///
+/// # Panics
+///
+/// Panics if `n == 0`; the paper never takes `log♯` of zero.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(rdv_strings::log_sharp(1), 0);
+/// assert_eq!(rdv_strings::log_sharp(9), 4);
+/// assert_eq!(rdv_strings::log_sharp(1 << 40), 40);
+/// ```
+pub fn log_sharp(n: u64) -> u32 {
+    assert!(n > 0, "log♯ is undefined at 0");
+    if n == 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::log_sharp;
+
+    #[test]
+    fn log_sharp_small_values() {
+        let expected = [
+            (1u64, 0u32),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (16, 4),
+            (17, 5),
+        ];
+        for (n, want) in expected {
+            assert_eq!(log_sharp(n), want, "log♯ {n}");
+        }
+    }
+
+    #[test]
+    fn log_sharp_powers_of_two() {
+        for e in 1..63 {
+            assert_eq!(log_sharp(1u64 << e), e);
+            assert_eq!(log_sharp((1u64 << e) + 1), e + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined at 0")]
+    fn log_sharp_zero_panics() {
+        log_sharp(0);
+    }
+
+    #[test]
+    fn log_sharp_is_ceil_log2() {
+        for n in 1u64..4096 {
+            let naive = (n as f64).log2().ceil() as u32;
+            assert_eq!(log_sharp(n), naive, "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The 2-maximality transform `M(z)` (Figure 3 of the paper).
+//!
+//! Inserting the string `1010` at a maximal point of a walk raises the
+//! maximum by one and visits the new maximum exactly twice, turning any
+//! string into a 2-maximal one. The insertion position (the *first* maximal
+//! point, for determinism) is recoverable from the output, so the transform
+//! is invertible. It preserves balance (the inserted block is balanced) and
+//! strict Catalan-ness (the insertion happens at height `≥ 1`).
+
+use crate::walk::Walk;
+use crate::Bits;
+
+/// Applies `M`: inserts `1010` at the first maximal point of the walk.
+///
+/// # Panics
+///
+/// Panics if `z` is empty (the constructions never produce empty strings).
+///
+/// # Example
+///
+/// ```
+/// use rdv_strings::{Bits, maximal::{to_two_maximal, from_two_maximal}, walk::Walk};
+///
+/// let z: Bits = "1100".parse().unwrap();
+/// let m = to_two_maximal(&z);
+/// assert_eq!(Walk::new(&m).maximal_count(), 2);
+/// assert_eq!(from_two_maximal(&m), Some(z));
+/// ```
+pub fn to_two_maximal(z: &Bits) -> Bits {
+    assert!(!z.is_empty(), "M is undefined on the empty string");
+    let w = Walk::new(z);
+    let p = w.first_max_position();
+    let block: Bits = "1010".parse().expect("literal");
+    let out = z.insert_at(p, &block);
+    debug_assert_eq!(Walk::new(&out).maximal_count(), 2);
+    out
+}
+
+/// Inverts `M`: locates the first maximal point of the walk and removes the
+/// `1010` block that `to_two_maximal` inserted there.
+///
+/// Returns `None` if the string is too short or the expected block is absent
+/// (i.e. the input is not in the image of `M`).
+pub fn from_two_maximal(m: &Bits) -> Option<Bits> {
+    if m.len() < 4 {
+        return None;
+    }
+    let w = Walk::new(m);
+    // After insertion at p, the new maximum is attained first at walk
+    // position p + 1 (just after the first inserted 1).
+    let q = w.first_max_position();
+    if q == 0 {
+        return None;
+    }
+    let start = q - 1;
+    if start + 4 > m.len() {
+        return None;
+    }
+    if m.slice(start, start + 4).to_string() != "1010" {
+        return None;
+    }
+    let z = m.remove_range(start, 4);
+    // Verify we recovered a preimage: M must map it back.
+    if to_two_maximal(&z) == *m {
+        Some(z)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> Bits {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn output_is_two_maximal_exhaustive() {
+        for len in 1..=10usize {
+            for v in 0u64..(1 << len) {
+                let z = Bits::encode_int(v, len as u32);
+                let m = to_two_maximal(&z);
+                assert_eq!(m.len(), z.len() + 4);
+                assert_eq!(
+                    Walk::new(&m).maximal_count(),
+                    2,
+                    "M({z}) = {m} not 2-maximal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive() {
+        for len in 1..=10usize {
+            for v in 0u64..(1 << len) {
+                let z = Bits::encode_int(v, len as u32);
+                let m = to_two_maximal(&z);
+                assert_eq!(from_two_maximal(&m), Some(z.clone()), "roundtrip {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_balance() {
+        for s in ["1100", "10", "110100", "10101100"] {
+            let z = bits(s);
+            assert!(Walk::new(&z).is_balanced());
+            assert!(Walk::new(&to_two_maximal(&z)).is_balanced(), "{s}");
+        }
+    }
+
+    #[test]
+    fn preserves_strict_catalan() {
+        for s in ["10", "1100", "110100", "11101000", "11011000"] {
+            let z = bits(s);
+            assert!(Walk::new(&z).is_strictly_catalan(), "{s} precondition");
+            let m = to_two_maximal(&z);
+            assert!(
+                Walk::new(&m).is_strictly_catalan(),
+                "M({s}) = {m} lost strict Catalan-ness"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_3_shape() {
+        // Figure 3: a sequence with a unique maximum becomes 2-maximal with
+        // the maximum raised by one.
+        let z = bits("110100");
+        let before = Walk::new(&z);
+        let m = to_two_maximal(&z);
+        let after = Walk::new(&m);
+        assert_eq!(after.max_value(), before.max_value() + 1);
+        assert_eq!(after.maximal_count(), 2);
+    }
+
+    #[test]
+    fn rejects_non_image_strings() {
+        // 0000 has its first maximum at position 0: cannot be in the image.
+        assert_eq!(from_two_maximal(&bits("0000")), None);
+        // Too short.
+        assert_eq!(from_two_maximal(&bits("101")), None);
+        // First max position not preceded by the 1010 block.
+        assert_eq!(from_two_maximal(&bits("110010")), None);
+    }
+
+    #[test]
+    fn insertion_is_at_first_max() {
+        // z = 1100: heights 0,1,2,1,0 → first max at walk position 2.
+        // Insert 1010 starting at string index 2: 11 1010 00.
+        assert_eq!(to_two_maximal(&bits("1100")).to_string(), "11101000");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_two_maximal_and_invertible(v in proptest::collection::vec(any::<bool>(), 1..200)) {
+            let z = Bits::from_bools(&v);
+            let m = to_two_maximal(&z);
+            prop_assert_eq!(Walk::new(&m).maximal_count(), 2);
+            prop_assert_eq!(from_two_maximal(&m), Some(z));
+        }
+    }
+}

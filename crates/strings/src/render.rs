@@ -1,0 +1,144 @@
+//! ASCII renderings of string walks, reproducing Figures 1–3 of the paper.
+//!
+//! The paper's figures show the "graph" of a sequence: a lattice walk where
+//! each `1` steps northeast (`/`) and each `0` steps southeast (`\`). The
+//! renderer draws exactly that, one column per symbol, which is sufficient
+//! to regenerate Figures 1a/1b (walks and balanced strings), 2a/2b (Catalan
+//! sequences and their shifts) and 3a/3b (the 2-maximality transform).
+
+use crate::walk::Walk;
+use crate::Bits;
+
+/// Renders the walk of `z` as ASCII art, one row per height level.
+///
+/// The walk baseline (height 0) is marked with `-` on empty cells; rows are
+/// ordered top (highest) to bottom (lowest).
+///
+/// # Example
+///
+/// ```
+/// use rdv_strings::{Bits, render::render_walk};
+///
+/// let z: Bits = "11010".parse().unwrap(); // Figure 1a
+/// let art = render_walk(&z);
+/// assert!(art.lines().count() >= 2);
+/// ```
+pub fn render_walk(z: &Bits) -> String {
+    if z.is_empty() {
+        return String::from("(empty sequence)\n");
+    }
+    let w = Walk::new(z);
+    let hi = *w.heights().iter().max().expect("non-empty");
+    let lo = *w.heights().iter().min().expect("non-empty");
+    // Each symbol occupies one column; the glyph for step i sits between
+    // heights h(i) and h(i+1), drawn on the row of max(h(i), h(i+1)).
+    let rows = (hi - lo).max(1) as usize;
+    let mut grid = vec![vec![' '; z.len()]; rows];
+    for (i, bit) in z.iter().enumerate() {
+        let (a, b) = (w.height(i), w.height(i + 1));
+        let top = a.max(b);
+        let row = (hi - top) as usize;
+        grid[row][i] = if bit { '/' } else { '\\' };
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let level = hi - r as i64;
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{level:>3} |{line}|\n"));
+    }
+    out.push_str(&format!("    seq: {z}\n"));
+    out
+}
+
+/// Renders the annotated comparison used for Figure 3: the walk before and
+/// after the 2-maximality transform `M`.
+pub fn render_maximality_transform(z: &Bits) -> String {
+    let m = crate::maximal::to_two_maximal(z);
+    let mut out = String::new();
+    out.push_str("before M (first maximal point marked by insertion below):\n");
+    out.push_str(&render_walk(z));
+    out.push_str("after M (1010 inserted; exactly two maximal points):\n");
+    out.push_str(&render_walk(&m));
+    out
+}
+
+/// Describes a string with the paper's vocabulary (balanced / Catalan /
+/// strictly Catalan / t-maximal / t-minimal), for figure captions.
+pub fn describe(z: &Bits) -> String {
+    if z.is_empty() {
+        return String::from("empty");
+    }
+    let w = Walk::new(z);
+    let mut parts = Vec::new();
+    if w.is_balanced() {
+        parts.push("balanced".to_string());
+    } else {
+        parts.push(format!("unbalanced (final height {})", w.final_height()));
+    }
+    if w.is_strictly_catalan() {
+        parts.push("strictly Catalan".to_string());
+    } else if w.is_catalan() {
+        parts.push("Catalan".to_string());
+    }
+    parts.push(format!("{}-maximal", w.maximal_count()));
+    parts.push(format!("{}-minimal", w.minimal_count()));
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> Bits {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn figure_1a_render_shape() {
+        let art = render_walk(&bits("11010"));
+        // Two height rows plus the sequence line.
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("seq: 11010"));
+        // The first step is a rise at level 1... top row has the later peaks.
+        let first_line = art.lines().next().unwrap();
+        assert!(first_line.contains('/'));
+    }
+
+    #[test]
+    fn figure_1b_render_is_balanced_caption() {
+        assert!(describe(&bits("110001")).contains("balanced"));
+        assert!(!describe(&bits("11010")).contains(" balanced"));
+    }
+
+    #[test]
+    fn glyph_count_matches_length() {
+        for s in ["10", "110100", "010011", "11110000"] {
+            let art = render_walk(&bits(s));
+            let glyphs: usize = art
+                .chars()
+                .filter(|&c| c == '/' || c == '\\')
+                .count();
+            assert_eq!(glyphs, s.len(), "{s}");
+        }
+    }
+
+    #[test]
+    fn describe_vocabulary() {
+        assert_eq!(describe(&bits("1100")), "balanced, strictly Catalan, 1-maximal, 1-minimal");
+        assert!(describe(&bits("1010")).contains("Catalan"));
+        assert!(!describe(&bits("1010")).contains("strictly"));
+        assert_eq!(describe(&Bits::new()), "empty");
+    }
+
+    #[test]
+    fn maximality_transform_render_mentions_both() {
+        let out = render_maximality_transform(&bits("110100"));
+        assert!(out.contains("before M"));
+        assert!(out.contains("after M"));
+    }
+
+    #[test]
+    fn empty_render() {
+        assert_eq!(render_walk(&Bits::new()), "(empty sequence)\n");
+    }
+}

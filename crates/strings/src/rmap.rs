@@ -1,0 +1,302 @@
+//! The asynchronous pair code `R(x) = M(1 ∘ U(K(x)) ∘ 0)` of Theorem 1.
+//!
+//! `R` maps fixed-length color strings to codewords that are simultaneously
+//!
+//! 1. **balanced** — distinct balanced strings automatically realize both
+//!    `(0,1)` and `(1,0)` when aligned, and both `(0,0)` and `(1,1)` unless
+//!    they are complements;
+//! 2. **strictly Catalan** — hence *1-minimal*, with the unique minimum at
+//!    position 0, so no nontrivial rotation of a codeword equals another
+//!    codeword;
+//! 3. **2-maximal** — hence never equal to the complement of any rotation of
+//!    a codeword (complements of rotations are 2-minimal, codewords are
+//!    1-minimal);
+//! 4. **injective** — every stage (`K`, `U`, bracketing, `M`) is invertible.
+//!
+//! Together these give the paper's cyclic guarantees
+//!
+//! * `x = y ⇒ R(x) ◇₀ R(y)` and
+//! * `x ≠ y ⇒ R(x) ◇₁ R(y)`,
+//!
+//! which are exactly what the asynchronous size-two schedules need.
+
+use crate::catalan::StrictCatalanCode;
+use crate::maximal::{from_two_maximal, to_two_maximal};
+use crate::walk::Walk;
+use crate::Bits;
+
+/// A codeword of the asynchronous pair code, witnessing its invariants.
+///
+/// Construction is only possible through [`RCode::encode`], which guarantees
+/// the balanced / strictly-Catalan / 2-maximal invariants hold.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RWord {
+    bits: Bits,
+}
+
+impl RWord {
+    /// The underlying bits.
+    pub fn as_bits(&self) -> &Bits {
+        &self.bits
+    }
+
+    /// Consumes the codeword, returning the underlying bits.
+    pub fn into_bits(self) -> Bits {
+        self.bits
+    }
+
+    /// Length of the codeword.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Codewords are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Display for RWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.bits.fmt(f)
+    }
+}
+
+/// The asynchronous pair code `R` for color strings of a fixed length.
+///
+/// # Example
+///
+/// ```
+/// use rdv_strings::{Bits, rmap::RCode, diamond};
+///
+/// let code = RCode::new(2);
+/// let a = code.encode(&Bits::encode_int(0b01, 2));
+/// let b = code.encode(&Bits::encode_int(0b10, 2));
+/// // Distinct colors: rendezvous under every relative rotation.
+/// assert!(diamond::rhombus_path(a.as_bits(), b.as_bits()));
+/// assert!(diamond::rhombus_same(a.as_bits(), b.as_bits()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RCode {
+    strict: StrictCatalanCode,
+}
+
+impl RCode {
+    /// Creates the code for color strings of exactly `input_len` bits.
+    pub fn new(input_len: usize) -> Self {
+        RCode {
+            strict: StrictCatalanCode::new(input_len),
+        }
+    }
+
+    /// The input length this code accepts.
+    pub fn input_len(&self) -> usize {
+        self.strict.input_len()
+    }
+
+    /// Length of every codeword: `|1 ∘ U(K(x)) ∘ 0| + 4`.
+    ///
+    /// This is the period of the cyclic size-two schedules of Theorem 1;
+    /// for color strings of length `log♯ log♯ n` it is
+    /// `log♯ log♯ n + O(log log log n)`.
+    pub fn output_len(&self) -> usize {
+        self.strict.output_len() + 4
+    }
+
+    /// Encodes a color string into an [`RWord`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_len()`.
+    pub fn encode(&self, x: &Bits) -> RWord {
+        let strict = self.strict.encode(x);
+        let bits = to_two_maximal(&strict);
+        debug_assert!(Walk::new(&bits).is_balanced());
+        debug_assert!(Walk::new(&bits).is_strictly_catalan());
+        debug_assert_eq!(Walk::new(&bits).maximal_count(), 2);
+        RWord { bits }
+    }
+
+    /// Decodes a codeword back to its color string.
+    ///
+    /// Returns `None` if `bits` is not in the image of this code.
+    pub fn decode(&self, bits: &Bits) -> Option<Bits> {
+        if bits.len() != self.output_len() {
+            return None;
+        }
+        let strict = from_two_maximal(bits)?;
+        self.strict.decode(&strict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diamond::{rhombus_path, rhombus_same};
+
+    fn all_colors(len: usize) -> Vec<Bits> {
+        (0u64..(1 << len))
+            .map(|v| Bits::encode_int(v, len as u32))
+            .collect()
+    }
+
+    #[test]
+    fn invariants_exhaustive() {
+        for len in 1..=6usize {
+            let code = RCode::new(len);
+            for x in all_colors(len) {
+                let r = code.encode(&x);
+                let w = Walk::new(r.as_bits());
+                assert!(w.is_balanced(), "R({x}) balanced");
+                assert!(w.is_strictly_catalan(), "R({x}) strictly Catalan");
+                assert_eq!(w.maximal_count(), 2, "R({x}) 2-maximal");
+                assert_eq!(w.minimal_count(), 1, "R({x}) 1-minimal");
+                assert_eq!(r.len(), code.output_len());
+            }
+        }
+    }
+
+    #[test]
+    fn injective_and_invertible() {
+        for len in 1..=6usize {
+            let code = RCode::new(len);
+            let mut seen = std::collections::HashSet::new();
+            for x in all_colors(len) {
+                let r = code.encode(&x);
+                assert!(seen.insert(r.as_bits().clone()), "collision at {x}");
+                assert_eq!(code.decode(r.as_bits()), Some(x.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn rhombus_same_for_all_pairs() {
+        // x = y ⇒ R(x) ◇₀ R(y); in fact ◇₀ holds for every pair of
+        // codewords (the complement argument never needs x ≠ y).
+        for len in 1..=4usize {
+            let code = RCode::new(len);
+            let words: Vec<_> = all_colors(len)
+                .iter()
+                .map(|x| code.encode(x))
+                .collect();
+            for a in &words {
+                for b in &words {
+                    assert!(
+                        rhombus_same(a.as_bits(), b.as_bits()),
+                        "◇₀ failed for {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rhombus_path_for_distinct_pairs() {
+        // x ≠ y ⇒ R(x) ◇₁ R(y).
+        for len in 1..=4usize {
+            let code = RCode::new(len);
+            let colors = all_colors(len);
+            for (i, x) in colors.iter().enumerate() {
+                for (j, y) in colors.iter().enumerate() {
+                    if i != j {
+                        let a = code.encode(x);
+                        let b = code.encode(y);
+                        assert!(
+                            rhombus_path(a.as_bits(), b.as_bits()),
+                            "◇₁ failed for R({x}) vs R({y})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_rotation_collisions() {
+        // No codeword equals a nontrivial rotation of another (or itself):
+        // the algebraic heart of the ◇ arguments.
+        let code = RCode::new(4);
+        let words: Vec<_> = all_colors(4).iter().map(|x| code.encode(x)).collect();
+        for (i, a) in words.iter().enumerate() {
+            for (j, b) in words.iter().enumerate() {
+                for d in 0..b.len() {
+                    if i == j && d == 0 {
+                        continue;
+                    }
+                    assert_ne!(
+                        *a.as_bits(),
+                        b.as_bits().cyclic_shift(d),
+                        "R word {i} equals rotation {d} of word {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_complement_rotation_collisions() {
+        // No codeword equals the complement of any rotation of a codeword.
+        let code = RCode::new(4);
+        let words: Vec<_> = all_colors(4).iter().map(|x| code.encode(x)).collect();
+        for a in &words {
+            for b in &words {
+                for d in 0..b.len() {
+                    assert_ne!(
+                        *a.as_bits(),
+                        b.as_bits().cyclic_shift(d).complement(),
+                        "complement collision"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_len_is_doubly_logarithmic_in_n() {
+        // For universe size n, colors have length ~log♯ log♯ n; check the
+        // codeword stays O(log log n) with small constants.
+        for (color_len, budget) in [(1usize, 40), (3, 48), (6, 64), (7, 72)] {
+            let code = RCode::new(color_len);
+            assert!(
+                code.output_len() <= budget,
+                "color length {color_len}: period {} > {budget}",
+                code.output_len()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_non_codewords() {
+        let code = RCode::new(3);
+        assert_eq!(code.decode(&Bits::repeat(true, code.output_len())), None);
+        assert_eq!(code.decode(&Bits::new()), None);
+        // A rotated codeword is not a codeword.
+        let r = code.encode(&Bits::encode_int(5, 3));
+        assert_eq!(code.decode(&r.as_bits().cyclic_shift(2)), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::diamond::{rhombus_path, rhombus_same};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_rmap_rhombus(len in 1usize..7, a in any::<u64>(), b in any::<u64>()) {
+            let mask = (1u64 << len) - 1;
+            let x = Bits::encode_int(a & mask, len as u32);
+            let y = Bits::encode_int(b & mask, len as u32);
+            let code = RCode::new(len);
+            let rx = code.encode(&x);
+            let ry = code.encode(&y);
+            prop_assert!(rhombus_same(rx.as_bits(), ry.as_bits()));
+            if x != y {
+                prop_assert!(rhombus_path(rx.as_bits(), ry.as_bits()));
+            }
+            prop_assert_eq!(code.decode(rx.as_bits()), Some(x));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Section 5's scenario: radios within reach of a common random beacon
+//! (GPS is the paper's example) rendezvous dramatically faster — from
+//! `Ω(|A||B|)` without the beacon to `O(|A| + |B| + log n)` with it.
+//!
+//! Compares protocol A (fresh `Θ(log n)` beacon bits per permutation) with
+//! protocol B (expander-walk amplification, `O(1)` bits per step) and the
+//! deterministic Theorem 3 schedule on the same instance.
+//!
+//! ```text
+//! cargo run --release --example beacon_gps
+//! ```
+
+use blind_rendezvous::prelude::*;
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn main() {
+    let n = 512u64;
+    let a = ChannelSet::new((1..=24).collect::<Vec<u64>>()).expect("valid");
+    let b = ChannelSet::new((24..=47).collect::<Vec<u64>>()).expect("valid");
+    println!("universe [{n}]; |A| = |B| = 24, overlap = 1 channel (ch24)");
+    println!();
+
+    // Deterministic baseline: Theorem 3.
+    let sa = GeneralSchedule::asynchronous(n, a.clone()).expect("valid");
+    let sb = GeneralSchedule::asynchronous(n, b.clone()).expect("valid");
+    let det_ttr = async_ttr(&sa, &sb, 100, sa.ttr_bound(24) + 1).expect("guaranteed");
+
+    // Beacon protocols, over 50 seeded beacon streams.
+    let trials = 50u64;
+    let horizon = 200_000;
+    let mut ttrs_a = Vec::new();
+    let mut ttrs_b = Vec::new();
+    for seed in 0..trials {
+        let beacon = BeaconStream::new(seed);
+        let pa1 = BeaconProtocolA::new(beacon, n, a.clone(), 0);
+        let pa2 = BeaconProtocolA::new(beacon, n, b.clone(), 100);
+        ttrs_a.push(async_ttr(&pa1, &pa2, 100, horizon).unwrap_or(horizon));
+        let pb1 = BeaconProtocolB::new(beacon, n, a.clone(), 0);
+        let pb2 = BeaconProtocolB::new(beacon, n, b.clone(), 100);
+        ttrs_b.push(async_ttr(&pb1, &pb2, 100, horizon).unwrap_or(horizon));
+    }
+
+    println!("{:<34}{:>12}", "scheme", "TTR (slots)");
+    println!("{:<34}{:>12}", "Theorem 3 (no beacon, worst-case)", det_ttr);
+    println!(
+        "{:<34}{:>12}",
+        "protocol A (median over beacons)",
+        median(ttrs_a)
+    );
+    println!(
+        "{:<34}{:>12}",
+        "protocol B (median over beacons)",
+        median(ttrs_b)
+    );
+    println!();
+    println!(
+        "k+l+log2(n) = {} — protocol B's additive scale",
+        24 + 24 + 9
+    );
+    println!("kl = 576 — the Theorem 7 barrier no beacon-free scheme can beat");
+}

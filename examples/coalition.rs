@@ -1,0 +1,51 @@
+//! The "military coalition" scenario from the paper's introduction: a huge
+//! pooled hyperspace (here `n = 2⁴⁰` channels) in which each coalition
+//! member operates on a *small* subset that is guaranteed to overlap with
+//! allies in a designated band.
+//!
+//! This is where the `O(|A||B| log log n)` result shines: the prior-art
+//! `O(n²)`/`O(n³)` schedules are unusable at `n = 2⁴⁰` (periods beyond
+//! `2⁸⁰` slots), while Theorem 3's rendezvous time depends on `n` only
+//! through a `log log n ≤ 6`-bit color.
+//!
+//! ```text
+//! cargo run --release --example coalition
+//! ```
+
+use blind_rendezvous::prelude::*;
+use blind_rendezvous::sim::workload;
+
+fn main() {
+    let n: u64 = 1 << 40; // a trillion-channel pooled hyperspace
+
+    // Two allies: 5 channels each, 2 shared band channels near mid-spectrum.
+    let scenario = workload::coalition_pair(n, 5, 2, 2026).expect("parameters fit");
+    let (a, b) = (scenario.a.clone(), scenario.b.clone());
+    println!("universe  : 2^40 = {n} channels");
+    println!("ally A    : {a}");
+    println!("ally B    : {b}");
+    println!(
+        "shared    : {:?}",
+        a.intersection(&b).iter().map(|c| c.get()).collect::<Vec<_>>()
+    );
+
+    let sa = GeneralSchedule::asynchronous(n, a.clone()).expect("valid");
+    let sb = GeneralSchedule::asynchronous(n, b.clone()).expect("valid");
+    let bound = sa.ttr_bound(b.len());
+
+    // Sweep a few adversarial wake-up offsets.
+    let mut worst = 0;
+    for shift in [0u64, 1, 313, 9_999, 123_456] {
+        let ttr = async_ttr(&sa, &sb, shift, bound + 1).expect("guaranteed");
+        worst = worst.max(ttr);
+        println!("wake offset {shift:>7}: rendezvous after {ttr:>5} slots");
+    }
+
+    // The punchline: the bound is independent of n in any practical sense.
+    let fam = PairFamily::new(n).expect("n ≥ 2");
+    println!();
+    println!("pair-schedule period at n=2^40 : {} slots", fam.period());
+    println!("Theorem 3 bound for this pair  : {bound} slots");
+    println!("prior art (O(n^2)) period scale: ~{:e} slots", (n as f64).powi(2));
+    assert!(worst <= bound);
+}

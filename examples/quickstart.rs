@@ -1,0 +1,42 @@
+//! Quickstart: two radios with different channel sets and different
+//! wake-up times discover each other, deterministically.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use blind_rendezvous::prelude::*;
+
+fn main() {
+    let n = 128; // the spectrum: channels 1..=128
+
+    // Alice and Bob each sense a different set of free channels. They know
+    // nothing about each other — not even that the other exists.
+    let alice = ChannelSet::new(vec![7, 42, 99]).expect("valid set");
+    let bob = ChannelSet::new(vec![13, 42, 81, 100]).expect("valid set");
+
+    // Each builds its schedule from its own set alone (anonymity).
+    let sched_a = GeneralSchedule::asynchronous(n, alice.clone()).expect("valid universe");
+    let sched_b = GeneralSchedule::asynchronous(n, bob.clone()).expect("valid universe");
+
+    // Bob wakes up 1_000 slots after Alice (asynchrony).
+    let shift = 1_000;
+    let bound = sched_a.ttr_bound(bob.len());
+    let ttr = async_ttr(&sched_a, &sched_b, shift, bound + 1)
+        .expect("Theorem 3 guarantees rendezvous within the bound");
+
+    let meeting_channel = sched_b.channel_at(ttr);
+    println!("universe         : [{n}]");
+    println!("alice            : {alice}");
+    println!("bob              : {bob} (wakes {shift} slots later)");
+    println!("met after        : {ttr} slots (both awake)");
+    println!("guaranteed bound : {bound} slots (O(|A||B| log log n))");
+    println!("meeting channel  : {meeting_channel}");
+
+    assert_eq!(
+        sched_a.channel_at(shift + ttr),
+        sched_b.channel_at(ttr),
+        "both radios are on the same channel at the meeting slot"
+    );
+    assert!(alice.contains(meeting_channel.get()) && bob.contains(meeting_channel.get()));
+}

@@ -1,0 +1,79 @@
+//! A multi-agent dynamic-spectrum scenario: a population of radios camped
+//! on clustered bands (TV-white-space style) all discovering each other.
+//!
+//! Runs the discrete-time simulator over every pair simultaneously and
+//! prints per-pair first-meeting statistics, comparing the paper's
+//! construction with the Jump-Stay baseline on the *same* population.
+//!
+//! ```text
+//! cargo run --release --example spectrum_pool
+//! ```
+
+use blind_rendezvous::prelude::*;
+use blind_rendezvous::sim::engine::{Agent, Simulation};
+use blind_rendezvous::sim::workload;
+use rdv_sim::algo::AgentCtx;
+
+fn run(algo: Algorithm, n: u64, sets: &[ChannelSet]) -> (usize, usize, u64, f64) {
+    let agents: Vec<Agent> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, set)| {
+            let wake = (i as u64) * 37 % 301; // staggered wake-ups
+            let ctx = AgentCtx {
+                wake,
+                agent_seed: i as u64,
+                shared_seed: 7,
+            };
+            Agent {
+                schedule: algo.make(n, set, &ctx).expect("valid agent"),
+                set: set.clone(),
+                wake,
+            }
+        })
+        .collect();
+    let sim = Simulation::new(agents);
+    let horizon = algo.horizon(n, 8, 8).max(1 << 18);
+    let report = sim.run(horizon);
+    let met = report.first_meeting.len();
+    let missed = report.missed.len();
+    let ttrs: Vec<u64> = report
+        .first_meeting
+        .keys()
+        .filter_map(|&(i, j)| report.ttr(i, j, sim.agents()))
+        .collect();
+    let max = ttrs.iter().copied().max().unwrap_or(0);
+    let mean = if ttrs.is_empty() {
+        0.0
+    } else {
+        ttrs.iter().sum::<u64>() as f64 / ttrs.len() as f64
+    };
+    (met, missed, max, mean)
+}
+
+fn main() {
+    let n = 96u64;
+    let population = workload::clustered_population(n, 6, 12, 4242);
+    println!("population: 12 radios, 6-channel contiguous bands, universe [{n}]");
+    for (i, set) in population.iter().enumerate() {
+        println!("  radio {i:>2}: {set}");
+    }
+    println!();
+    println!(
+        "{:<18}{:>10}{:>10}{:>12}{:>12}",
+        "algorithm", "pairs met", "missed", "max TTR", "mean TTR"
+    );
+    for algo in [Algorithm::Ours, Algorithm::JumpStay, Algorithm::Crseq] {
+        let (met, missed, max, mean) = run(algo, n, &population);
+        println!(
+            "{:<18}{:>10}{:>10}{:>12}{:>12.1}",
+            algo.to_string(),
+            met,
+            missed,
+            max,
+            mean
+        );
+    }
+    println!();
+    println!("every overlapping pair must meet; 'missed' must be 0 for ours (guaranteed).");
+}

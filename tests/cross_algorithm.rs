@@ -1,0 +1,138 @@
+//! Cross-crate integration: every algorithm on shared scenarios, plus the
+//! model invariants (anonymity, determinism, set-confinement) enforced
+//! uniformly across the whole workspace.
+
+use blind_rendezvous::prelude::*;
+use blind_rendezvous::sim::algo::AgentCtx;
+use blind_rendezvous::sim::workload;
+use rdv_core::schedule::fingerprint;
+
+const ALL_ALGOS: [Algorithm; 8] = [
+    Algorithm::Ours,
+    Algorithm::OursSymmetric,
+    Algorithm::Crseq,
+    Algorithm::JumpStay,
+    Algorithm::Drds,
+    Algorithm::Random,
+    Algorithm::BeaconA,
+    Algorithm::BeaconB,
+];
+
+#[test]
+fn every_algorithm_rendezvouses_on_a_shared_scenario() {
+    let n = 16u64;
+    let scenario = workload::adversarial_overlap_one(n, 3, 3).unwrap();
+    for algo in ALL_ALGOS {
+        let ctx_a = AgentCtx {
+            wake: 0,
+            agent_seed: 1,
+            shared_seed: 5,
+        };
+        let ctx_b = AgentCtx {
+            wake: 17,
+            agent_seed: 2,
+            shared_seed: 5,
+        };
+        let sa = algo.make(n, &scenario.a, &ctx_a).expect("instantiates");
+        let sb = algo.make(n, &scenario.b, &ctx_b).expect("instantiates");
+        let horizon = algo.horizon(n, 3, 3);
+        assert!(
+            async_ttr(&sa, &sb, 17, horizon).is_some(),
+            "{algo} failed to rendezvous within {horizon}"
+        );
+    }
+}
+
+#[test]
+fn schedules_never_leave_their_sets() {
+    let n = 24u64;
+    let set = ChannelSet::new(vec![3, 9, 14, 22]).unwrap();
+    let ctx = AgentCtx {
+        wake: 5,
+        agent_seed: 9,
+        shared_seed: 1,
+    };
+    for algo in ALL_ALGOS {
+        let s = algo.make(n, &set, &ctx).expect("instantiates");
+        for t in 0..2_000 {
+            let c = s.channel_at(t).get();
+            assert!(set.contains(c), "{algo} hopped on {c} ∉ {set} at t={t}");
+        }
+    }
+}
+
+#[test]
+fn anonymity_schedule_depends_only_on_set() {
+    // Two agents presenting the same set in different orders must produce
+    // identical schedules for every deterministic, beacon-free algorithm.
+    let n = 32u64;
+    let ctx = AgentCtx::default();
+    for algo in Algorithm::TABLE1 {
+        let a = algo
+            .make(n, &ChannelSet::new(vec![4, 19, 27]).unwrap(), &ctx)
+            .expect("instantiates");
+        let b = algo
+            .make(n, &ChannelSet::new(vec![27, 4, 19]).unwrap(), &ctx)
+            .expect("instantiates");
+        assert_eq!(
+            fingerprint(&a, 5_000),
+            fingerprint(&b, 5_000),
+            "{algo} violates anonymity"
+        );
+    }
+}
+
+#[test]
+fn determinism_across_rebuilds() {
+    let n = 20u64;
+    let set = ChannelSet::new(vec![1, 10, 20]).unwrap();
+    let ctx = AgentCtx {
+        wake: 3,
+        agent_seed: 7,
+        shared_seed: 11,
+    };
+    for algo in ALL_ALGOS {
+        let a = algo.make(n, &set, &ctx).expect("instantiates");
+        let b = algo.make(n, &set, &ctx).expect("instantiates");
+        assert_eq!(
+            fingerprint(&a, 3_000),
+            fingerprint(&b, 3_000),
+            "{algo} is not deterministic"
+        );
+    }
+}
+
+#[test]
+fn disjoint_sets_never_rendezvous_under_any_algorithm() {
+    let n = 16u64;
+    let a = ChannelSet::new(vec![1, 2, 3]).unwrap();
+    let b = ChannelSet::new(vec![10, 11]).unwrap();
+    let ctx = AgentCtx::default();
+    for algo in ALL_ALGOS {
+        let sa = algo.make(n, &a, &ctx).expect("instantiates");
+        let sb = algo.make(n, &b, &ctx).expect("instantiates");
+        assert_eq!(
+            async_ttr(&sa, &sb, 0, 5_000),
+            None,
+            "{algo} reported an impossible rendezvous"
+        );
+    }
+}
+
+#[test]
+fn symmetric_wrapper_beats_every_baseline_on_symmetric_instances() {
+    // O(1) vs growing: the wrapper's worst case over many shifts must stay
+    // below every baseline's on the same symmetric instance.
+    let n = 64u64;
+    let scenario = workload::symmetric_pair(n, 5, 99).unwrap();
+    let ctx = AgentCtx::default();
+    let wrapped = Algorithm::OursSymmetric
+        .make(n, &scenario.a, &ctx)
+        .expect("instantiates");
+    let mut wrapped_worst = 0;
+    for shift in 0..200u64 {
+        let ttr = async_ttr(&wrapped, &wrapped, shift, 100).expect("O(1) rendezvous");
+        wrapped_worst = wrapped_worst.max(ttr);
+    }
+    assert!(wrapped_worst < 12, "wrapper worst {wrapped_worst}");
+}

@@ -1,0 +1,102 @@
+//! Workspace-level property-based tests: random channel-set geometries,
+//! shifts and universes against the paper's guarantees.
+
+use blind_rendezvous::prelude::*;
+use proptest::prelude::*;
+use rdv_core::verify;
+
+/// Strategy: a universe size and a pair of overlapping subsets.
+fn overlapping_instance() -> impl Strategy<Value = (u64, ChannelSet, ChannelSet)> {
+    (6u64..40).prop_flat_map(|n| {
+        let subset = proptest::collection::btree_set(1..=n, 1..=6);
+        (Just(n), subset.clone(), subset, 1..=n).prop_map(|(n, mut a, mut b, shared)| {
+            a.insert(shared);
+            b.insert(shared);
+            (
+                n,
+                ChannelSet::new(a).expect("non-empty"),
+                ChannelSet::new(b).expect("non-empty"),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn general_schedule_always_meets_within_bound(
+        (n, a, b) in overlapping_instance(),
+        shift in 0u64..10_000,
+    ) {
+        let sa = GeneralSchedule::asynchronous(n, a.clone()).expect("valid");
+        let sb = GeneralSchedule::asynchronous(n, b.clone()).expect("valid");
+        let bound = sa.ttr_bound(b.len());
+        let ttr = verify::async_ttr(&sa, &sb, shift, bound + 1);
+        prop_assert!(ttr.is_some(), "A={a}, B={b}, n={n}, shift={shift}");
+        prop_assert!(ttr.expect("checked") <= bound);
+    }
+
+    #[test]
+    fn rendezvous_lands_on_a_common_channel(
+        (n, a, b) in overlapping_instance(),
+        shift in 0u64..5_000,
+    ) {
+        let sa = GeneralSchedule::asynchronous(n, a.clone()).expect("valid");
+        let sb = GeneralSchedule::asynchronous(n, b.clone()).expect("valid");
+        let bound = sa.ttr_bound(b.len());
+        if let Some(ttr) = verify::async_ttr(&sa, &sb, shift, bound + 1) {
+            let c = sb.channel_at(ttr).get();
+            prop_assert!(a.contains(c) && b.contains(c), "met on {c} ∉ A∩B");
+        }
+    }
+
+    #[test]
+    fn schedules_confined_to_their_sets(
+        (n, a, _) in overlapping_instance(),
+        t in 0u64..50_000,
+    ) {
+        let s = GeneralSchedule::asynchronous(n, a.clone()).expect("valid");
+        prop_assert!(a.contains(s.channel_at(t).get()));
+    }
+
+    #[test]
+    fn symmetric_wrapper_constant_regardless_of_instance(
+        (n, a, _) in overlapping_instance(),
+        shift in 0u64..100_000,
+    ) {
+        let base = GeneralSchedule::asynchronous(n, a.clone()).expect("valid");
+        let w = SymmetricWrapped::new(base, &a);
+        let ttr = verify::async_ttr(&w, &w, shift, 13);
+        prop_assert!(ttr.is_some_and(|t| t < 12));
+    }
+
+    #[test]
+    fn pair_family_schedules_are_valid_codewords(n in 2u64..(1 << 24)) {
+        use rdv_strings::walk::Walk;
+        let fam = PairFamily::new(n).expect("n ≥ 2");
+        let s = fam.schedule(1, 2).expect("pair in range");
+        let w = Walk::new(s.word());
+        prop_assert!(w.is_balanced());
+        prop_assert!(w.is_strictly_catalan());
+        prop_assert_eq!(w.maximal_count(), 2);
+    }
+
+    #[test]
+    fn baselines_meet_on_random_small_instances(
+        seed in 0u64..500,
+        shift in 0u64..2_000,
+    ) {
+        // Jump-Stay and CRSEQ on random overlapping pairs of [8]: the
+        // reconstructions must meet within their (generous) horizons.
+        let n = 8u64;
+        let scenario = blind_rendezvous::sim::workload::random_overlapping_pair(n, 3, 3, seed)
+            .expect("fits");
+        let js_a = JumpStay::new(n, scenario.a.clone()).expect("valid");
+        let js_b = JumpStay::new(n, scenario.b.clone()).expect("valid");
+        prop_assert!(verify::async_ttr(&js_a, &js_b, shift, 40_000).is_some());
+        let cr_a = Crseq::new(n, scenario.a.clone()).expect("valid");
+        let cr_b = Crseq::new(n, scenario.b.clone()).expect("valid");
+        prop_assert!(verify::async_ttr(&cr_a, &cr_b, shift, 40_000).is_some());
+    }
+}
