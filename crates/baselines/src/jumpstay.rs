@@ -108,9 +108,7 @@ mod tests {
 
     fn all_subsets(n: u64) -> Vec<ChannelSet> {
         (1u64..(1 << n))
-            .map(|mask| {
-                ChannelSet::new((1..=n).filter(|c| mask >> (c - 1) & 1 == 1)).unwrap()
-            })
+            .map(|mask| ChannelSet::new((1..=n).filter(|c| mask >> (c - 1) & 1 == 1)).unwrap())
             .collect()
     }
 

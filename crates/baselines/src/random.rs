@@ -104,7 +104,9 @@ mod tests {
         let s = set(&[1, 2, 3, 4, 5, 6, 7, 8]);
         let a = RandomHopping::new(s.clone(), 1);
         let b = RandomHopping::new(s, 2);
-        let agree = (0..1000).filter(|&t| a.channel_at(t) == b.channel_at(t)).count();
+        let agree = (0..1000)
+            .filter(|&t| a.channel_at(t) == b.channel_at(t))
+            .count();
         // Expected agreement 1/8 ≈ 125; anything near 1000 means broken seeding.
         assert!(agree < 300, "agreement {agree}");
     }
@@ -116,8 +118,8 @@ mod tests {
         let b = RandomHopping::new(set(&[5, 12, 14]), 23);
         let mut worst = 0;
         for shift in 0..100u64 {
-            let ttr = verify::async_ttr(&a, &b, shift, 1_000)
-                .expect("whp rendezvous within 1000 slots");
+            let ttr =
+                verify::async_ttr(&a, &b, shift, 1_000).expect("whp rendezvous within 1000 slots");
             worst = worst.max(ttr);
         }
         assert!(worst < 1_000);

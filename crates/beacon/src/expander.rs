@@ -179,11 +179,16 @@ mod tests {
     #[test]
     fn vertex_from_seed_spreads() {
         let g = GabberGalil::new(31);
-        let distinct: HashSet<(u64, u64)> =
-            (0..400u64).map(|s| g.vertex_from_seed(s.wrapping_mul(0xABCD_EF12_3456_789B))).collect();
+        let distinct: HashSet<(u64, u64)> = (0..400u64)
+            .map(|s| g.vertex_from_seed(s.wrapping_mul(0xABCD_EF12_3456_789B)))
+            .collect();
         // 400 uniform draws from 961 vertices leave ~330 distinct in
         // expectation; 280 allows for hash variance without masking bugs.
-        assert!(distinct.len() > 280, "only {} distinct vertices", distinct.len());
+        assert!(
+            distinct.len() > 280,
+            "only {} distinct vertices",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -78,9 +78,8 @@ impl MinwiseFamily {
 
     /// The polynomial for a given seed.
     fn poly(&self, seed: u64) -> Poly {
-        let coeffs = (0..self.degree as u64).map(|i| Self::mix(seed.wrapping_add(i.wrapping_mul(
-            0xA076_1D64_78BD_642F,
-        ))));
+        let coeffs = (0..self.degree as u64)
+            .map(|i| Self::mix(seed.wrapping_add(i.wrapping_mul(0xA076_1D64_78BD_642F))));
         Poly::new(self.field, coeffs)
     }
 

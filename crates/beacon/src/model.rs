@@ -69,7 +69,8 @@ impl BeaconStream {
     /// `count ≤ 21` consecutive 3-bit symbols starting at slot `t`, for
     /// expander-walk steps.
     pub fn symbol3(&self, t: u64) -> u8 {
-        (u8::from(self.bit(3 * t)) << 2) | (u8::from(self.bit(3 * t + 1)) << 1)
+        (u8::from(self.bit(3 * t)) << 2)
+            | (u8::from(self.bit(3 * t + 1)) << 1)
             | u8::from(self.bit(3 * t + 2))
     }
 }

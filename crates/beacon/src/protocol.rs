@@ -176,8 +176,7 @@ mod tests {
         let mut ttrs: Vec<u64> = (0..trials)
             .map(|seed| {
                 let (a, b, shift) = make(seed);
-                verify::async_ttr(&a, &b, shift, horizon)
-                    .unwrap_or(horizon)
+                verify::async_ttr(&a, &b, shift, horizon).unwrap_or(horizon)
             })
             .collect();
         ttrs.sort_unstable();

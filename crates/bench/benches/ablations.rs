@@ -28,7 +28,10 @@ fn ablate_epoch_doubling(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(900));
     group.sample_size(20);
     let set = ChannelSet::new(vec![3, 17, 40, 99]).expect("valid");
-    for (label, mode) in [("doubled_async", Mode::Asynchronous), ("single_sync", Mode::Synchronous)] {
+    for (label, mode) in [
+        ("doubled_async", Mode::Asynchronous),
+        ("single_sync", Mode::Synchronous),
+    ] {
         let s = GeneralSchedule::with_mode(128, set.clone(), mode).expect("valid");
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -109,8 +112,13 @@ fn ablate_sdp_rank(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
     group.sample_size(10);
-    let g = rdv_sdp::OrientGraph::new(8, (0..12u32).map(|i| (i % 7, (i % 7 + 1 + i / 7) % 8)).collect())
-        .expect("valid");
+    let g = rdv_sdp::OrientGraph::new(
+        8,
+        (0..12u32)
+            .map(|i| (i % 7, (i % 7 + 1 + i / 7) % 8))
+            .collect(),
+    )
+    .expect("valid");
     for iters in [50usize, 200, 800] {
         let cfg = rdv_sdp::SdpConfig {
             iterations: iters,

@@ -54,5 +54,5 @@ fn bench_protocols(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(900)).sample_size(10); targets = bench_minwise, bench_protocols}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(900)).sample_size(10); targets = bench_minwise, bench_protocols}
 criterion_main!(benches);

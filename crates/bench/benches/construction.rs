@@ -17,12 +17,15 @@ fn bench_construction(c: &mut Criterion) {
     group.sample_size(20);
     for n in [64u64, 1024, 1 << 20] {
         let sc = scenario(n, 4);
-        for algo in [Algorithm::Ours, Algorithm::Crseq, Algorithm::JumpStay, Algorithm::Drds] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.to_string(), n),
-                &n,
-                |b, &n| b.iter(|| black_box(build(algo, n, &sc.a))),
-            );
+        for algo in [
+            Algorithm::Ours,
+            Algorithm::Crseq,
+            Algorithm::JumpStay,
+            Algorithm::Drds,
+        ] {
+            group.bench_with_input(BenchmarkId::new(algo.to_string(), n), &n, |b, &n| {
+                b.iter(|| black_box(build(algo, n, &sc.a)))
+            });
         }
     }
     group.finish();
@@ -41,5 +44,5 @@ fn bench_pair_family(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(900)).sample_size(10); targets = bench_construction, bench_pair_family}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(900)).sample_size(10); targets = bench_construction, bench_pair_family}
 criterion_main!(benches);

@@ -1,5 +1,6 @@
-//! Per-slot schedule evaluation (`channel_at`) throughput — the radio's
-//! per-slot budget at runtime.
+//! Schedule evaluation throughput — the radio's per-slot budget at
+//! runtime: per-slot `channel_at` calls vs the bulk `fill_channels` kernel
+//! over the same 1024 slots.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rdv_bench::{build, scenario};
@@ -42,5 +43,36 @@ fn bench_hopping(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(900)).sample_size(10); targets = bench_hopping}
+fn bench_block_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fill_channels");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(1024));
+    let n = 256u64;
+    let sc = scenario(n, 4);
+    for algo in [
+        Algorithm::Ours,
+        Algorithm::OursSymmetric,
+        Algorithm::Crseq,
+        Algorithm::JumpStay,
+        Algorithm::Drds,
+    ] {
+        let sched = build(algo, n, &sc.a);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.to_string()),
+            &sched,
+            |b, sched| {
+                let mut buf = [0u64; 1024];
+                b.iter(|| {
+                    sched.fill_channels(black_box(0), &mut buf);
+                    buf[1023]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(900)).sample_size(10); targets = bench_hopping, bench_block_fill}
 criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! The block-compiled schedule kernel vs the naive per-slot path.
+//!
+//! Benches `worst_async_ttr_exhaustive` — the hottest sweep in the
+//! workspace — on the adversarial overlap-one scenario: the naive
+//! reference re-derives every slot through virtual `channel_at` calls for
+//! every (shift, direction), while the block kernel compiles each schedule
+//! once and slides over the two period tables. Also benches the chunked
+//! `async_ttr` against its per-slot reference, and prints the measured
+//! exhaustive-sweep speedup at the end (the acceptance target is ≥ 5× at
+//! n = 64).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_bench::scenario;
+use rdv_core::general::GeneralSchedule;
+use rdv_core::verify;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn adversarial_pair(n: u64, k: usize) -> (GeneralSchedule, GeneralSchedule, u64) {
+    let sc = scenario(n, k);
+    let sa = GeneralSchedule::asynchronous(n, sc.a.clone()).expect("valid");
+    let sb = GeneralSchedule::asynchronous(n, sc.b.clone()).expect("valid");
+    let horizon = sa.ttr_bound(k) + 1;
+    (sa, sb, horizon)
+}
+
+fn bench_exhaustive_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worst_async_ttr_exhaustive");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(10);
+    for n in [16u64, 64] {
+        let (sa, sb, horizon) = adversarial_pair(n, 4);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(verify::naive::worst_async_ttr_exhaustive(&sa, &sb, horizon)))
+        });
+        group.bench_with_input(BenchmarkId::new("block", n), &n, |b, _| {
+            b.iter(|| black_box(verify::worst_async_ttr_exhaustive(&sa, &sb, horizon)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_shift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_ttr");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.sample_size(10);
+    let (sa, sb, horizon) = adversarial_pair(64, 4);
+    // The shift with the deepest forward scan (a→b direction), so the bench
+    // exercises a long kernel run rather than a 2-slot early-out.
+    let period = rdv_core::schedule::Schedule::period_hint(&sa).expect("periodic");
+    let shift = (0..period)
+        .max_by_key(|&s| verify::async_ttr(&sa, &sb, s, horizon).unwrap_or(horizon))
+        .expect("non-empty sweep");
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            black_box(verify::naive::async_ttr(
+                &sa,
+                &sb,
+                black_box(shift),
+                horizon,
+            ))
+        })
+    });
+    group.bench_function("block", |b| {
+        b.iter(|| black_box(verify::async_ttr(&sa, &sb, black_box(shift), horizon)))
+    });
+    group.finish();
+}
+
+/// One-shot speedup measurement, printed so the ≥ 5× acceptance target is
+/// visible directly in the bench output.
+fn report_speedup(_c: &mut Criterion) {
+    let (sa, sb, horizon) = adversarial_pair(64, 4);
+    let reps = 3;
+    let naive = {
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(verify::naive::worst_async_ttr_exhaustive(&sa, &sb, horizon));
+        }
+        start.elapsed().as_secs_f64() / reps as f64
+    };
+    let block = {
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(verify::worst_async_ttr_exhaustive(&sa, &sb, horizon));
+        }
+        start.elapsed().as_secs_f64() / reps as f64
+    };
+    println!(
+        "kernel speedup (worst_async_ttr_exhaustive, n=64 adversarial): {:.1}x (naive {:.3} ms, block {:.3} ms)",
+        naive / block,
+        naive * 1e3,
+        block * 1e3
+    );
+}
+
+criterion_group! {name = benches; config = Criterion::default(); targets = bench_exhaustive_sweep, bench_single_shift, report_speedup}
+criterion_main!(benches);

@@ -36,7 +36,9 @@ fn bench_sdp(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(900));
     group.sample_size(10);
     for m in [6usize, 12, 20] {
-        let edges: Vec<(u32, u32)> = (0..m as u32).map(|i| (i % 7, (i % 7 + 1 + i / 7) % 8)).collect();
+        let edges: Vec<(u32, u32)> = (0..m as u32)
+            .map(|i| (i % 7, (i % 7 + 1 + i / 7) % 8))
+            .collect();
         let g = OrientGraph::new(8, edges).expect("valid");
         group.bench_with_input(BenchmarkId::from_parameter(m), &g, |b, g| {
             b.iter(|| black_box(solve(g, &SdpConfig::default())))
@@ -45,5 +47,5 @@ fn bench_sdp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(900)).sample_size(10); targets = bench_exact_search, bench_pigeonhole, bench_sdp}
+criterion_group! {name = benches; config = Criterion::default().warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(900)).sample_size(10); targets = bench_exact_search, bench_pigeonhole, bench_sdp}
 criterion_main!(benches);

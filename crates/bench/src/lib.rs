@@ -6,6 +6,15 @@
 //! tables themselves are produced by the `repro` binary; the benches
 //! measure the *computational* cost of generating and evaluating schedules,
 //! which is what a downstream adopter of the library pays at runtime.
+//!
+//! Schedule **construction** and TTR **evaluation** are separate costs with
+//! very different shapes (construction is dominated by codeword/coloring
+//! setup, evaluation by the sweep kernels), so the helpers keep them apart:
+//! [`build`] / [`prepare_pair`] construct, [`eval_ttr`] evaluates a
+//! pre-built pair, and [`measure_ttr`] composes both for end-to-end cost.
+//! Timed bench closures should call [`eval_ttr`] on a pair prepared
+//! *outside* the measurement loop unless they are explicitly measuring
+//! construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,13 +34,37 @@ pub fn build(algo: Algorithm, n: u64, set: &ChannelSet) -> DynSchedule {
         .unwrap_or_else(|| panic!("{algo} failed to instantiate at n={n}"))
 }
 
-/// Measures one asynchronous TTR, panicking if the horizon is missed.
+/// A pre-built schedule pair plus its rendezvous horizon — the input of
+/// [`eval_ttr`], constructed once outside any timed closure.
+pub struct PreparedPair {
+    /// Agent A's schedule.
+    pub sa: DynSchedule,
+    /// Agent B's schedule.
+    pub sb: DynSchedule,
+    /// The algorithm's guarantee horizon for the scenario.
+    pub horizon: u64,
+}
+
+/// Builds both schedules of a scenario once, for repeated evaluation.
+pub fn prepare_pair(algo: Algorithm, n: u64, sc: &PairScenario) -> PreparedPair {
+    PreparedPair {
+        sa: build(algo, n, &sc.a),
+        sb: build(algo, n, &sc.b),
+        horizon: algo.horizon(n, sc.a.len(), sc.b.len()),
+    }
+}
+
+/// Evaluates one asynchronous TTR on a pre-built pair — pure kernel cost,
+/// no construction inside. Returns the horizon if the pair never meets.
+pub fn eval_ttr(pair: &PreparedPair, shift: u64) -> u64 {
+    rdv_core::verify::async_ttr(&pair.sa, &pair.sb, shift, pair.horizon).unwrap_or(pair.horizon)
+}
+
+/// Measures one asynchronous TTR **end-to-end**: schedule construction plus
+/// evaluation. Kept for benches that deliberately track the combined cost;
+/// use [`prepare_pair`] + [`eval_ttr`] to time evaluation alone.
 pub fn measure_ttr(algo: Algorithm, n: u64, sc: &PairScenario, shift: u64) -> u64 {
-    let sa = build(algo, n, &sc.a);
-    let sb = build(algo, n, &sc.b);
-    let horizon = algo.horizon(n, sc.a.len(), sc.b.len());
-    rdv_core::verify::async_ttr(&sa, &sb, shift, horizon)
-        .unwrap_or(horizon)
+    eval_ttr(&prepare_pair(algo, n, sc), shift)
 }
 
 #[cfg(test)]
@@ -44,5 +77,17 @@ mod tests {
         let s = build(Algorithm::Ours, 16, &sc.a);
         assert!(sc.a.contains(s.channel_at(0).get()));
         assert!(measure_ttr(Algorithm::Ours, 16, &sc, 7) < 10_000);
+    }
+
+    #[test]
+    fn split_build_and_eval_agree_with_composed() {
+        let sc = scenario(16, 3);
+        let pair = prepare_pair(Algorithm::Ours, 16, &sc);
+        for shift in [0u64, 7, 97] {
+            assert_eq!(
+                eval_ttr(&pair, shift),
+                measure_ttr(Algorithm::Ours, 16, &sc, shift)
+            );
+        }
     }
 }

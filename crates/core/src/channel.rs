@@ -7,9 +7,7 @@ use std::fmt;
 ///
 /// The zero value is reserved (channels are 1-indexed); [`ChannelSet`]
 /// enforces this.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Channel(u64);
 
 impl Channel {
@@ -212,7 +210,10 @@ mod tests {
     #[test]
     fn validation_rules() {
         assert_eq!(ChannelSet::new(vec![]), Err(ChannelSetError::Empty));
-        assert_eq!(ChannelSet::new(vec![0, 3]), Err(ChannelSetError::ZeroChannel));
+        assert_eq!(
+            ChannelSet::new(vec![0, 3]),
+            Err(ChannelSetError::ZeroChannel)
+        );
         assert_eq!(
             ChannelSet::new(vec![5, 3, 5]),
             Err(ChannelSetError::Duplicate(5))

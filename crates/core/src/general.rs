@@ -211,6 +211,39 @@ impl Schedule for GeneralSchedule {
         // The epoch pair pattern repeats every p·q epochs.
         Some(self.p * self.q * self.epoch_len)
     }
+
+    fn fill_channels(&self, start: u64, out: &mut [u64]) {
+        // One epoch-index/word lookup per epoch instead of per slot: the
+        // inner loop is a branch on one codeword bit with a wrapping
+        // counter — no division, no modulo, no table walk.
+        let mut t = start;
+        let mut filled = 0usize;
+        while filled < out.len() {
+            let r = t / self.epoch_len;
+            let within = t % self.epoch_len;
+            let take = ((self.epoch_len - within) as usize).min(out.len() - filled);
+            let dst = &mut out[filled..filled + take];
+            let (i, j) = self.epoch_indices(r);
+            if i == j {
+                dst.fill(self.set.channel(i).get());
+            } else {
+                let (lo_i, hi_i) = if i < j { (i, j) } else { (j, i) };
+                let lo = self.set.channel(lo_i).get();
+                let hi = self.set.channel(hi_i).get();
+                let word = self.words.word(lo, hi);
+                let mut off = within % self.word_len;
+                for slot in dst.iter_mut() {
+                    *slot = if word.get(off as usize) { hi } else { lo };
+                    off += 1;
+                    if off == self.word_len {
+                        off = 0;
+                    }
+                }
+            }
+            t += take as u64;
+            filled += take;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -226,9 +259,7 @@ mod tests {
     /// Enumerate all non-empty subsets of {1..n} for tiny n.
     fn all_subsets(n: u64) -> Vec<ChannelSet> {
         (1u64..(1 << n))
-            .map(|mask| {
-                ChannelSet::new((1..=n).filter(|c| mask >> (c - 1) & 1 == 1)).unwrap()
-            })
+            .map(|mask| ChannelSet::new((1..=n).filter(|c| mask >> (c - 1) & 1 == 1)).unwrap())
             .collect()
     }
 
@@ -272,7 +303,8 @@ mod tests {
                 let sb = GeneralSchedule::synchronous(n, b.clone()).unwrap();
                 let (p, _) = sa.primes();
                 let (q, _) = sb.primes();
-                let bound = (9 * (a.len() * b.len()) as u64 + 2) * sa.epoch_len().max(sb.epoch_len());
+                let bound =
+                    (9 * (a.len() * b.len()) as u64 + 2) * sa.epoch_len().max(sb.epoch_len());
                 let ttr = verify::sync_ttr(&sa, &sb, bound + 1);
                 assert!(
                     ttr.is_some(),

@@ -18,8 +18,10 @@
 //! # Layout
 //!
 //! * [`channel`] — validated channel and channel-set types.
-//! * [`schedule`] — the [`Schedule`](schedule::Schedule) trait and basic
-//!   combinators.
+//! * [`schedule`] — the [`Schedule`](schedule::Schedule) trait (including
+//!   the bulk `fill_channels` API) and basic combinators.
+//! * [`compiled`] — one-period table compilation for periodic schedules,
+//!   feeding the slice-scan sweep kernels.
 //! * [`pair`] — Theorem 1: `O(log log n)` schedules for sets of size two.
 //! * [`general`] — Theorem 3: the epoch construction for arbitrary sets.
 //! * [`symmetric`] — Section 3.2: the `O(1)`-symmetric wrapper.
@@ -49,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod compiled;
 pub mod general;
 pub mod pair;
 pub mod schedule;
@@ -56,6 +59,7 @@ pub mod symmetric;
 pub mod verify;
 
 pub use channel::{Channel, ChannelSet, ChannelSetError};
+pub use compiled::CompiledSchedule;
 pub use general::GeneralSchedule;
 pub use pair::PairFamily;
 pub use schedule::Schedule;

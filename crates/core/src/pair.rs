@@ -189,6 +189,19 @@ impl Schedule for PairSchedule {
     fn period_hint(&self) -> Option<u64> {
         Some(self.word.len() as u64)
     }
+
+    fn fill_channels(&self, start: u64, out: &mut [u64]) {
+        let (lo, hi) = (self.lo.get(), self.hi.get());
+        let wl = self.word.len() as u64;
+        let mut off = start % wl;
+        for slot in out.iter_mut() {
+            *slot = if self.word.get(off as usize) { hi } else { lo };
+            off += 1;
+            if off == wl {
+                off = 0;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -207,10 +220,7 @@ mod tests {
         let mut out = Vec::new();
         for (i, &s) in sets.iter().enumerate() {
             for &t in &sets[i..] {
-                let shared = [s.0, s.1]
-                    .iter()
-                    .filter(|c| [t.0, t.1].contains(c))
-                    .count();
+                let shared = [s.0, s.1].iter().filter(|c| [t.0, t.1].contains(c)).count();
                 if shared > 0 {
                     out.push((s, t));
                 }

@@ -11,14 +11,41 @@ use crate::channel::Channel;
 /// Implementations must be pure: `channel_at(t)` always returns the same
 /// channel for the same `t` (determinism is part of the model and is what
 /// the tests rely on).
+///
+/// # Bulk evaluation
+///
+/// The measurement engine ([`crate::verify`]) and the simulator never ask
+/// for one slot at a time: they consume schedules in blocks through
+/// [`fill_channels`](Schedule::fill_channels), which writes raw channel
+/// numbers for a contiguous slot range into a caller-supplied buffer. The
+/// default implementation loops `channel_at`, so every schedule gets the
+/// bulk API for free; hot schedules override it to hoist per-slot work
+/// (epoch div/mod, codeword lookups, wrapper arithmetic) out of the inner
+/// loop. Overrides must be *bit-identical* to the default — the workspace
+/// property tests enforce this. Periodic schedules can additionally be
+/// flattened into one period table with [`crate::compiled::CompiledSchedule`],
+/// which turns repeated sweeps into slice scans.
 pub trait Schedule {
     /// The channel accessed at slot `t` (since wake-up).
     fn channel_at(&self, t: u64) -> Channel;
 
     /// If the schedule is periodic, its period. The verification engine
-    /// uses this to bound exhaustive shift sweeps.
+    /// uses this to bound exhaustive shift sweeps, and the compiled kernel
+    /// uses it to size one-period tables; it must be a *true* period
+    /// (`channel_at(t + p) == channel_at(t)` for all `t`), not an estimate.
     fn period_hint(&self) -> Option<u64> {
         None
+    }
+
+    /// Writes the raw channel numbers of slots `start..start + out.len()`
+    /// into `out` (`out[i] = channel_at(start + i).get()`).
+    ///
+    /// This is the bulk entry point of the measurement kernels; overrides
+    /// must match the default implementation exactly.
+    fn fill_channels(&self, start: u64, out: &mut [u64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.channel_at(start + i as u64).get();
+        }
     }
 }
 
@@ -29,6 +56,9 @@ impl<S: Schedule + ?Sized> Schedule for &S {
     fn period_hint(&self) -> Option<u64> {
         (**self).period_hint()
     }
+    fn fill_channels(&self, start: u64, out: &mut [u64]) {
+        (**self).fill_channels(start, out)
+    }
 }
 
 impl<S: Schedule + ?Sized> Schedule for Box<S> {
@@ -37,6 +67,9 @@ impl<S: Schedule + ?Sized> Schedule for Box<S> {
     }
     fn period_hint(&self) -> Option<u64> {
         (**self).period_hint()
+    }
+    fn fill_channels(&self, start: u64, out: &mut [u64]) {
+        (**self).fill_channels(start, out)
     }
 }
 
@@ -60,6 +93,9 @@ impl Schedule for ConstantSchedule {
     }
     fn period_hint(&self) -> Option<u64> {
         Some(1)
+    }
+    fn fill_channels(&self, _start: u64, out: &mut [u64]) {
+        out.fill(self.channel.get());
     }
 }
 
@@ -106,6 +142,17 @@ impl Schedule for CyclicSchedule {
     fn period_hint(&self) -> Option<u64> {
         Some(self.slots.len() as u64)
     }
+    fn fill_channels(&self, start: u64, out: &mut [u64]) {
+        let p = self.slots.len();
+        let mut idx = (start % p as u64) as usize;
+        for slot in out.iter_mut() {
+            *slot = self.slots[idx].get();
+            idx += 1;
+            if idx == p {
+                idx = 0;
+            }
+        }
+    }
 }
 
 /// A schedule shifted in time: plays `inner` starting from local slot
@@ -130,27 +177,41 @@ impl<S: Schedule> Schedule for ShiftedSchedule<S> {
     fn period_hint(&self) -> Option<u64> {
         self.inner.period_hint()
     }
+    fn fill_channels(&self, start: u64, out: &mut [u64]) {
+        self.inner.fill_channels(self.offset + start, out)
+    }
 }
 
 /// Materializes one period (or `horizon` slots) of a schedule, for
 /// fingerprinting and debugging.
 pub fn sample_slots<S: Schedule + ?Sized>(s: &S, horizon: u64) -> Vec<Channel> {
     let end = s.period_hint().unwrap_or(horizon).min(horizon);
-    (0..end).map(|t| s.channel_at(t)).collect()
+    let mut raw = vec![0u64; end as usize];
+    s.fill_channels(0, &mut raw);
+    raw.into_iter().map(Channel::new).collect()
 }
 
 /// A stable fingerprint of a schedule's first `horizon` slots — used by the
 /// anonymity/determinism tests (two constructions of the same set must
 /// produce identical fingerprints).
+///
+/// Consumes the schedule through the block kernel; bit-identical to
+/// hashing `channel_at(0..horizon)` slot by slot.
 pub fn fingerprint<S: Schedule + ?Sized>(s: &S, horizon: u64) -> u64 {
-    // FNV-1a over the channel numbers.
+    // FNV-1a over the channel numbers, in fill_channels blocks.
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for t in 0..horizon {
-        let c = s.channel_at(t).get();
-        for byte in c.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x1000_0000_01b3);
+    let mut buf = [0u64; 512];
+    let mut t = 0u64;
+    while t < horizon {
+        let len = (horizon - t).min(buf.len() as u64) as usize;
+        s.fill_channels(t, &mut buf[..len]);
+        for &c in &buf[..len] {
+            for byte in c.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
         }
+        t += len as u64;
     }
     h
 }

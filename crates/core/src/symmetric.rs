@@ -86,6 +86,26 @@ impl<S: Schedule> Schedule for SymmetricWrapped<S> {
     fn period_hint(&self) -> Option<u64> {
         self.inner.period_hint().map(|p| p * BLOWUP)
     }
+
+    fn fill_channels(&self, start: u64, out: &mut [u64]) {
+        // One inner-schedule evaluation per base slot (12 mini-slots)
+        // instead of per mini-slot.
+        let c0 = self.c0.get();
+        let mut t = start;
+        let mut filled = 0usize;
+        while filled < out.len() {
+            let base_slot = t / BLOWUP;
+            let within = t % BLOWUP;
+            let take = ((BLOWUP - within) as usize).min(out.len() - filled);
+            let c1 = self.inner.channel_at(base_slot).get();
+            for (x, slot) in out[filled..filled + take].iter_mut().enumerate() {
+                let pos = ((within + x as u64) % 6) as usize;
+                *slot = if PATTERN[pos] { c1 } else { c0 };
+            }
+            t += take as u64;
+            filled += take;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,9 +163,12 @@ mod tests {
         let b = SymmetricWrapped::new(base, &s);
         // Exhaustive over a large range of shifts: TTR ≤ 12, constant.
         for shift in 0..500u64 {
-            let ttr = verify::async_ttr(&a, &b, shift, 2 * SymmetricWrapped::<
-                GeneralSchedule,
-            >::SYMMETRIC_TTR_BOUND)
+            let ttr = verify::async_ttr(
+                &a,
+                &b,
+                shift,
+                2 * SymmetricWrapped::<GeneralSchedule>::SYMMETRIC_TTR_BOUND,
+            )
             .expect("symmetric rendezvous");
             assert!(
                 ttr < SymmetricWrapped::<GeneralSchedule>::SYMMETRIC_TTR_BOUND,

@@ -6,8 +6,40 @@
 //! on a common channel — synchronously (same wake-up) or asynchronously
 //! (arbitrary relative wake-up shift) — and sweeps shifts for worst-case
 //! figures.
+//!
+//! # Kernels
+//!
+//! All entry points are *block kernels*: they pull channels through
+//! [`Schedule::fill_channels`] in fixed-size chunks and compare flat `u64`
+//! buffers, instead of paying a (possibly virtual) `channel_at` call plus
+//! epoch/codeword arithmetic per slot. The shift sweeps go further: when
+//! both schedules are periodic and small enough to compile
+//! ([`CompiledSchedule`]), each schedule's period is materialized **once**
+//! and every shift is evaluated by sliding over the two period tables —
+//! turning the `O(period × shifts)` virtual-call storm of the naive sweep
+//! into contiguous slice scans.
+//!
+//! The original per-slot implementations are kept as `*_naive` reference
+//! functions; the workspace property tests assert the kernels are
+//! bit-identical to them, and `benches/kernel.rs` tracks the speedup.
 
+use crate::compiled::CompiledSchedule;
 use crate::schedule::Schedule;
+
+/// Maximum chunk size (slots) of the block kernels: two buffers of 4 KiB
+/// each stay comfortably in L1 while amortizing the `fill_channels`
+/// dispatch.
+const CHUNK: usize = 512;
+
+/// First chunk size of a scan. Chunks gallop `32 → 128 → 512` so shallow
+/// scans (most rendezvous happen within a few dozen slots) don't pay for a
+/// full 512-slot fill, while deep scans still amortize dispatch.
+const FIRST_CHUNK: usize = 32;
+
+/// The next chunk size after `cap`.
+fn grow_chunk(cap: usize) -> usize {
+    (cap * 4).min(CHUNK)
+}
 
 /// First slot `t ≤ max_steps` with `a(t) = b(t)` (synchronous model), or
 /// `None` if the schedules do not meet within the horizon.
@@ -16,7 +48,23 @@ where
     A: Schedule + ?Sized,
     B: Schedule + ?Sized,
 {
-    (0..max_steps).find(|&t| a.channel_at(t) == b.channel_at(t))
+    let mut bufa = [0u64; CHUNK];
+    let mut bufb = [0u64; CHUNK];
+    let mut cap = FIRST_CHUNK;
+    let mut t = 0u64;
+    while t < max_steps {
+        let len = (max_steps - t).min(cap as u64) as usize;
+        a.fill_channels(t, &mut bufa[..len]);
+        b.fill_channels(t, &mut bufb[..len]);
+        for i in 0..len {
+            if bufa[i] == bufb[i] {
+                return Some(t + i as u64);
+            }
+        }
+        t += len as u64;
+        cap = grow_chunk(cap);
+    }
+    None
 }
 
 /// Asynchronous time-to-rendezvous with `b` waking `shift` slots after `a`.
@@ -29,7 +77,69 @@ where
     A: Schedule + ?Sized,
     B: Schedule + ?Sized,
 {
-    (0..max_steps).find(|&tau| a.channel_at(shift + tau) == b.channel_at(tau))
+    let mut bufa = [0u64; CHUNK];
+    let mut bufb = [0u64; CHUNK];
+    let mut cap = FIRST_CHUNK;
+    let mut tau = 0u64;
+    while tau < max_steps {
+        let len = (max_steps - tau).min(cap as u64) as usize;
+        a.fill_channels(shift + tau, &mut bufa[..len]);
+        b.fill_channels(tau, &mut bufb[..len]);
+        for i in 0..len {
+            if bufa[i] == bufb[i] {
+                return Some(tau + i as u64);
+            }
+        }
+        tau += len as u64;
+        cap = grow_chunk(cap);
+    }
+    None
+}
+
+/// [`async_ttr`] over two pre-compiled period tables (see
+/// [`CompiledSchedule::table`]): `ta[(shift + τ) mod |ta|] = tb[τ mod |tb|]`.
+///
+/// The scan walks both tables with wrapping counters — no division and no
+/// schedule dispatch per slot — and stops early at `lcm(|ta|, |tb|)` slots,
+/// past which the joint phase provably repeats.
+///
+/// # Panics
+///
+/// Panics if either table is empty.
+pub fn async_ttr_tables(ta: &[u64], tb: &[u64], shift: u64, max_steps: u64) -> Option<u64> {
+    assert!(!ta.is_empty() && !tb.is_empty(), "empty period table");
+    let pa = ta.len();
+    let pb = tb.len();
+    let steps = max_steps.min(joint_period(pa as u64, pb as u64));
+    let mut ia = (shift % pa as u64) as usize;
+    let mut ib = 0usize;
+    for tau in 0..steps {
+        if ta[ia] == tb[ib] {
+            return Some(tau);
+        }
+        ia += 1;
+        if ia == pa {
+            ia = 0;
+        }
+        ib += 1;
+        if ib == pb {
+            ib = 0;
+        }
+    }
+    None
+}
+
+/// `lcm(a, b)`, saturating at `u64::MAX`.
+fn joint_period(a: u64, b: u64) -> u64 {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let r = a % b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+    (a / gcd(a, b)).saturating_mul(b)
 }
 
 /// The result of a worst-case shift sweep.
@@ -48,6 +158,10 @@ pub struct WorstCase {
 /// schedules need only `0..period`. Returns `None` if *any* swept shift
 /// fails to rendezvous within `max_steps` (which, for the guaranteed
 /// constructions, indicates a bug or an insufficient horizon).
+///
+/// Both schedules are compiled **once** when possible (periodic, period
+/// under the [`CompiledSchedule`] cap) and the whole sweep then runs on the
+/// two period tables; otherwise it falls back to the chunked kernel.
 pub fn worst_async_ttr<A, B>(
     a: &A,
     b: &B,
@@ -58,10 +172,22 @@ where
     A: Schedule + ?Sized,
     B: Schedule + ?Sized,
 {
+    let compiled = match (CompiledSchedule::compile(a), CompiledSchedule::compile(b)) {
+        (Some(ca), Some(cb)) => Some((ca, cb)),
+        _ => None,
+    };
     let mut worst: Option<WorstCase> = None;
     for shift in shifts {
-        let later = async_ttr(a, b, shift, max_steps)?;
-        let earlier = async_ttr(b, a, shift, max_steps)?;
+        let (later, earlier) = match &compiled {
+            Some((ca, cb)) => (
+                async_ttr_tables(ca.table(), cb.table(), shift, max_steps)?,
+                async_ttr_tables(cb.table(), ca.table(), shift, max_steps)?,
+            ),
+            None => (
+                async_ttr(a, b, shift, max_steps)?,
+                async_ttr(b, a, shift, max_steps)?,
+            ),
+        };
         let ttr = later.max(earlier);
         if worst.is_none_or(|w| ttr > w.ttr) {
             worst = Some(WorstCase { shift, ttr });
@@ -76,6 +202,10 @@ where
 /// Uses `a`'s period for the sweep (phases repeat modulo the period).
 /// Returns `None` if either schedule lacks a period hint or any phase fails
 /// within `max_steps`.
+///
+/// This is the hottest sweep in the workspace; it compiles each schedule
+/// once and slides over the period tables instead of recomputing
+/// `O(period × shifts)` virtual calls.
 pub fn worst_async_ttr_exhaustive<A, B>(a: &A, b: &B, max_steps: u64) -> Option<WorstCase>
 where
     A: Schedule + ?Sized,
@@ -99,10 +229,101 @@ where
     A: Schedule + ?Sized,
     B: Schedule + ?Sized,
 {
-    (0..max_steps).find(|&tau| {
-        let ca = a.channel_at(shift + tau);
-        ca.get() == channel && ca == b.channel_at(tau)
-    })
+    let mut bufa = [0u64; CHUNK];
+    let mut bufb = [0u64; CHUNK];
+    let mut cap = FIRST_CHUNK;
+    let mut tau = 0u64;
+    while tau < max_steps {
+        let len = (max_steps - tau).min(cap as u64) as usize;
+        a.fill_channels(shift + tau, &mut bufa[..len]);
+        b.fill_channels(tau, &mut bufb[..len]);
+        for i in 0..len {
+            if bufa[i] == channel && bufa[i] == bufb[i] {
+                return Some(tau + i as u64);
+            }
+        }
+        tau += len as u64;
+        cap = grow_chunk(cap);
+    }
+    None
+}
+
+/// Per-slot reference implementations of the kernels above.
+///
+/// These are the original (pre-kernel) loops over [`Schedule::channel_at`].
+/// They exist so the property tests can assert the block/compiled kernels
+/// are bit-identical, and so `benches/kernel.rs` can measure the speedup.
+pub mod naive {
+    use super::{Schedule, WorstCase};
+
+    /// Per-slot reference for [`super::sync_ttr`].
+    pub fn sync_ttr<A, B>(a: &A, b: &B, max_steps: u64) -> Option<u64>
+    where
+        A: Schedule + ?Sized,
+        B: Schedule + ?Sized,
+    {
+        (0..max_steps).find(|&t| a.channel_at(t) == b.channel_at(t))
+    }
+
+    /// Per-slot reference for [`super::async_ttr`].
+    pub fn async_ttr<A, B>(a: &A, b: &B, shift: u64, max_steps: u64) -> Option<u64>
+    where
+        A: Schedule + ?Sized,
+        B: Schedule + ?Sized,
+    {
+        (0..max_steps).find(|&tau| a.channel_at(shift + tau) == b.channel_at(tau))
+    }
+
+    /// Per-slot reference for [`super::worst_async_ttr`].
+    pub fn worst_async_ttr<A, B>(
+        a: &A,
+        b: &B,
+        shifts: impl IntoIterator<Item = u64>,
+        max_steps: u64,
+    ) -> Option<WorstCase>
+    where
+        A: Schedule + ?Sized,
+        B: Schedule + ?Sized,
+    {
+        let mut worst: Option<WorstCase> = None;
+        for shift in shifts {
+            let later = async_ttr(a, b, shift, max_steps)?;
+            let earlier = async_ttr(b, a, shift, max_steps)?;
+            let ttr = later.max(earlier);
+            if worst.is_none_or(|w| ttr > w.ttr) {
+                worst = Some(WorstCase { shift, ttr });
+            }
+        }
+        worst
+    }
+
+    /// Per-slot reference for [`super::worst_async_ttr_exhaustive`].
+    pub fn worst_async_ttr_exhaustive<A, B>(a: &A, b: &B, max_steps: u64) -> Option<WorstCase>
+    where
+        A: Schedule + ?Sized,
+        B: Schedule + ?Sized,
+    {
+        let pa = a.period_hint()?;
+        worst_async_ttr(a, b, 0..pa, max_steps)
+    }
+
+    /// Per-slot reference for [`super::async_ttr_on_channel`].
+    pub fn async_ttr_on_channel<A, B>(
+        a: &A,
+        b: &B,
+        channel: u64,
+        shift: u64,
+        max_steps: u64,
+    ) -> Option<u64>
+    where
+        A: Schedule + ?Sized,
+        B: Schedule + ?Sized,
+    {
+        (0..max_steps).find(|&tau| {
+            let ca = a.channel_at(shift + tau);
+            ca.get() == channel && ca == b.channel_at(tau)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +403,70 @@ mod tests {
         assert_eq!(async_ttr_on_channel(&a, &b, 1, 0, 10), Some(0));
         assert_eq!(async_ttr_on_channel(&a, &b, 2, 0, 10), Some(1));
         assert_eq!(async_ttr_on_channel(&a, &b, 3, 0, 10), None);
+    }
+
+    #[test]
+    fn table_kernel_matches_schedule_kernel() {
+        let a = cyc(&[1, 2, 3, 4, 5]);
+        let b = cyc(&[5, 4, 2]);
+        let ca = CompiledSchedule::compile(&a).unwrap();
+        let cb = CompiledSchedule::compile(&b).unwrap();
+        for shift in 0..40u64 {
+            assert_eq!(
+                async_ttr_tables(ca.table(), cb.table(), shift, 500),
+                naive::async_ttr(&a, &b, shift, 500),
+                "shift {shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_kernel_early_exits_at_joint_period() {
+        // Disjoint channel sets never meet; the table kernel must return
+        // None quickly (lcm(2, 3) = 6 slots scanned) even for a huge
+        // horizon.
+        let a = cyc(&[1, 2]);
+        let b = cyc(&[3, 4, 5]);
+        let ca = CompiledSchedule::compile(&a).unwrap();
+        let cb = CompiledSchedule::compile(&b).unwrap();
+        assert_eq!(async_ttr_tables(ca.table(), cb.table(), 0, u64::MAX), None);
+    }
+
+    #[test]
+    fn kernels_match_naive_on_cyclic_schedules() {
+        let a = cyc(&[7, 3, 3, 9, 7, 1, 4]);
+        let b = cyc(&[4, 9, 1]);
+        for shift in [0u64, 1, 2, 5, 19, 700] {
+            assert_eq!(
+                async_ttr(&a, &b, shift, 2_000),
+                naive::async_ttr(&a, &b, shift, 2_000)
+            );
+            assert_eq!(
+                async_ttr_on_channel(&a, &b, 9, shift, 2_000),
+                naive::async_ttr_on_channel(&a, &b, 9, shift, 2_000)
+            );
+        }
+        assert_eq!(sync_ttr(&a, &b, 2_000), naive::sync_ttr(&a, &b, 2_000));
+        assert_eq!(
+            worst_async_ttr_exhaustive(&a, &b, 5_000),
+            naive::worst_async_ttr_exhaustive(&a, &b, 5_000)
+        );
+    }
+
+    #[test]
+    fn chunk_boundaries_are_seamless() {
+        // Meetings right at multiples of the kernel chunk size.
+        let mut slots = vec![2u64; 600];
+        slots[511] = 1;
+        slots[512] = 1;
+        let a = CyclicSchedule::new(slots.iter().map(|&c| Channel::new(c)).collect()).unwrap();
+        let b = ConstantSchedule::new(Channel::new(1));
+        assert_eq!(async_ttr(&a, &b, 0, 10_000), Some(511));
+        assert_eq!(
+            async_ttr(&a, &b, 512, 10_000),
+            naive::async_ttr(&a, &b, 512, 10_000)
+        );
+        assert_eq!(sync_ttr(&a, &b, 511), naive::sync_ttr(&a, &b, 511));
+        assert_eq!(sync_ttr(&a, &b, 512), naive::sync_ttr(&a, &b, 512));
     }
 }

@@ -26,7 +26,9 @@ use rdv_core::verify;
 /// Panics if `T == 0`.
 pub fn density<S: Schedule + ?Sized>(schedule: &S, h: u64, t: u64) -> f64 {
     assert!(t > 0, "density over an empty prefix is undefined");
-    let hits = (0..t).filter(|&s| schedule.channel_at(s).get() == h).count();
+    let hits = (0..t)
+        .filter(|&s| schedule.channel_at(s).get() == h)
+        .count();
     hits as f64 / t as f64
 }
 
@@ -108,12 +110,7 @@ pub fn worst_overlap_one_pair<F: ScheduleFamily>(
 /// expected value of `k·∆(h,σ_A;T) + ℓ·∆(h,σ_B;T')` is exactly 2. This
 /// function computes the empirical mean over the deterministic enumeration
 /// (useful as a sanity check that a family cannot keep all densities high).
-pub fn mean_weighted_density<F: ScheduleFamily>(
-    family: &F,
-    n: u64,
-    k: usize,
-    t: u64,
-) -> f64 {
+pub fn mean_weighted_density<F: ScheduleFamily>(family: &F, n: u64, k: usize, t: u64) -> f64 {
     // For every set A of a sliding-window enumeration and every h ∈ A:
     // k·∆(h, σ_A; T) averaged — by definition of density this is exactly 1
     // when averaged over h ∈ A for any fixed A; the enumeration mirrors
@@ -177,8 +174,8 @@ mod tests {
         // Round-robin schedules of coprime sizes drift into each other
         // quickly, but the overlap-one pair still yields a measurable
         // worst case ≥ 1 slot; the harness must find and verify it.
-        let w = worst_overlap_one_pair(&round_robin, 16, 3, 4, 10_000, 1, 64)
-            .expect("witness exists");
+        let w =
+            worst_overlap_one_pair(&round_robin, 16, 3, 4, 10_000, 1, 64).expect("witness exists");
         assert_eq!(w.a.intersection(&w.b).len(), 1);
         assert!(w.a.contains(w.h) && w.b.contains(w.h));
         assert!(w.ttr >= 1);
@@ -191,9 +188,8 @@ mod tests {
         // modest multiple of kℓ — and, being a lower-bound witness, the
         // observed worst case must be at least a constant fraction of kℓ.
         let n = 16u64;
-        let family = |set: &ChannelSet| {
-            GeneralSchedule::asynchronous(n, set.clone()).expect("valid")
-        };
+        let family =
+            |set: &ChannelSet| GeneralSchedule::asynchronous(n, set.clone()).expect("valid");
         let k = 3usize;
         let ell = 3usize;
         let horizon = 1 << 20;

@@ -168,7 +168,12 @@ impl Csp {
         let ok = self.backtrack(&mut domains, &mut assignment, &adj, &mut nodes);
         match ok {
             Some(true) => (
-                Some(assignment.into_iter().map(|a| a.expect("complete")).collect()),
+                Some(
+                    assignment
+                        .into_iter()
+                        .map(|a| a.expect("complete"))
+                        .collect(),
+                ),
                 true,
             ),
             Some(false) => (None, true),

@@ -28,4 +28,4 @@ pub mod exact;
 pub mod pigeonhole;
 pub mod ramsey_bridge;
 
-pub use exact::{exact_rs_n2, exact_ra_n2_cyclic, SearchOutcome};
+pub use exact::{exact_ra_n2_cyclic, exact_rs_n2, SearchOutcome};

@@ -114,9 +114,7 @@ pub fn certify<F: ScheduleFamily>(
     for (i, (_, _, z)) in rare.iter().enumerate() {
         groups.entry(z.clone()).or_default().push(i);
     }
-    let (z, indices) = groups
-        .into_iter()
-        .find(|(_, idxs)| idxs.len() >= k)?;
+    let (z, indices) = groups.into_iter().find(|(_, idxs)| idxs.len() >= k)?;
     let chosen: Vec<usize> = indices.into_iter().take(k).collect();
     let s_hat = ChannelSet::new(chosen.iter().map(|&i| rare[i].1))
         .expect("rare channels are distinct across blocks");
@@ -191,9 +189,8 @@ mod tests {
     fn constant_family_certified() {
         // The family that always sits on its smallest channel: trivially
         // certified (blocks other than Ŝ's own never rendezvous).
-        let constant = |set: &ChannelSet| {
-            CyclicSchedule::new(vec![set.min_channel()]).expect("non-empty")
-        };
+        let constant =
+            |set: &ChannelSet| CyclicSchedule::new(vec![set.min_channel()]).expect("non-empty");
         let w = certify(&constant, 16, 2, 2).expect("witness");
         assert!(w.ttrs.iter().any(|(_, t)| t.is_none()));
     }
@@ -222,8 +219,7 @@ mod tests {
     #[test]
     fn general_schedule_responds() {
         let family = |set: &ChannelSet| {
-            rdv_core::general::GeneralSchedule::synchronous(16, set.clone())
-                .expect("valid set")
+            rdv_core::general::GeneralSchedule::synchronous(16, set.clone()).expect("valid set")
         };
         // Whatever the outcome, the call must be well-formed; for k = 2,
         // α = 2, the horizon (3 slots) is far below the construction's

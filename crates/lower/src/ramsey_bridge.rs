@@ -11,7 +11,6 @@
 //! evidence that the family's color diversity is adequate, as is the case
 //! for the paper's Ramsey-colored construction.
 
-
 use rdv_core::schedule::Schedule;
 use rdv_ramsey::triangle::{find_monochromatic_two_path, FnColoring, Triangle};
 
@@ -67,11 +66,7 @@ pub fn monochromatic_failure<F: PairScheduleFamily>(
 
 /// Verifies the certificate: the two edges of the witness really do fail to
 /// rendezvous synchronously within `t_slots`.
-pub fn verify_failure<F: PairScheduleFamily>(
-    family: &F,
-    witness: &Triangle,
-    t_slots: u64,
-) -> bool {
+pub fn verify_failure<F: PairScheduleFamily>(family: &F, witness: &Triangle, t_slots: u64) -> bool {
     let lower = family.pair_schedule(witness.i, witness.j);
     let upper = family.pair_schedule(witness.j, witness.k);
     rdv_core::verify::sync_ttr(&lower, &upper, t_slots).is_none()
@@ -95,9 +90,11 @@ mod tests {
 
     #[test]
     fn oblivious_family_fails_ramsey_attack() {
-        let witness =
-            monochromatic_failure(&oblivious, 4, 8).expect("identical colors everywhere");
-        assert!(verify_failure(&oblivious, &witness, 8), "certificate must verify");
+        let witness = monochromatic_failure(&oblivious, 4, 8).expect("identical colors everywhere");
+        assert!(
+            verify_failure(&oblivious, &witness, 8),
+            "certificate must verify"
+        );
     }
 
     #[test]

@@ -73,7 +73,7 @@ impl PrimeField {
 
     /// Multiplicative inverse, `None` for zero.
     pub fn inv(&self, a: u64) -> Option<u64> {
-        if a % self.p == 0 {
+        if a.is_multiple_of(self.p) {
             None
         } else {
             inv_mod(a % self.p, self.p)
@@ -203,6 +203,9 @@ mod tests {
             }
         }
         assert_eq!(counts.len(), 625);
-        assert!(counts.values().all(|&c| c == 1), "evaluation map is a bijection");
+        assert!(
+            counts.values().all(|&c| c == 1),
+            "evaluation map is a bijection"
+        );
     }
 }

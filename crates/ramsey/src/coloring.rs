@@ -104,7 +104,16 @@ mod tests {
 
     #[test]
     fn palette_is_log_sharp() {
-        for (n, palette) in [(2u64, 1u32), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4), (17, 5)] {
+        for (n, palette) in [
+            (2u64, 1u32),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (16, 4),
+            (17, 5),
+        ] {
             let chi = PosetColoring::new(n);
             assert_eq!(chi.palette_size(), palette, "n = {n}");
             // Every used color is inside the palette.

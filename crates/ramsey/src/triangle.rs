@@ -40,7 +40,12 @@ pub fn find_monochromatic_triangle<C: EdgeColoring>(coloring: &C) -> Option<Tria
             let cij = coloring.edge_color(i, j);
             for k in j + 1..=n {
                 if coloring.edge_color(j, k) == cij && coloring.edge_color(i, k) == cij {
-                    return Some(Triangle { i, j, k, color: cij });
+                    return Some(Triangle {
+                        i,
+                        j,
+                        k,
+                        color: cij,
+                    });
                 }
             }
         }
@@ -59,7 +64,12 @@ pub fn find_monochromatic_two_path<C: EdgeColoring>(coloring: &C) -> Option<Tria
             let cij = coloring.edge_color(i, j);
             for k in j + 1..=n {
                 if coloring.edge_color(j, k) == cij {
-                    return Some(Triangle { i, j, k, color: cij });
+                    return Some(Triangle {
+                        i,
+                        j,
+                        k,
+                        color: cij,
+                    });
                 }
             }
         }

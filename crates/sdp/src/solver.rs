@@ -95,9 +95,7 @@ pub fn solve(g: &OrientGraph, cfg: &SdpConfig) -> SdpResult {
     // Rank above the Burer–Monteiro threshold √(2m).
     let dim = ((2.0 * m as f64).sqrt().ceil() as usize + 1).max(3);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut v: Vec<Vec<f64>> = (0..m)
-        .map(|_| random_unit(&mut rng, dim))
-        .collect();
+    let mut v: Vec<Vec<f64>> = (0..m).map(|_| random_unit(&mut rng, dim)).collect();
     // Projected gradient ascent on the product of spheres.
     let mut grad = vec![vec![0.0; dim]; m];
     for _ in 0..cfg.iterations {
@@ -176,11 +174,7 @@ mod tests {
     use super::*;
 
     fn star(leaves: u32) -> OrientGraph {
-        OrientGraph::new(
-            leaves as usize + 1,
-            (1..=leaves).map(|v| (v, 0)).collect(),
-        )
-        .unwrap()
+        OrientGraph::new(leaves as usize + 1, (1..=leaves).map(|v| (v, 0)).collect()).unwrap()
     }
 
     #[test]
@@ -203,7 +197,10 @@ mod tests {
         let g = star(4);
         let (expected, best) = random_orientation_value(&g, 200, 1);
         assert_eq!(expected, 1.5); // 6 incident pairs / 4
-        assert!(best >= 2, "200 samples should find ≥ 2 in-pairs on a 4-star");
+        assert!(
+            best >= 2,
+            "200 samples should find ≥ 2 in-pairs on a 4-star"
+        );
     }
 
     #[test]
@@ -213,8 +210,11 @@ mod tests {
             OrientGraph::new(3, vec![(0, 1), (1, 2), (2, 0)]).unwrap(),
             OrientGraph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap(),
             OrientGraph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]).unwrap(),
-            OrientGraph::new(6, vec![(0, 1), (0, 2), (0, 3), (4, 0), (5, 0), (1, 2), (3, 4)])
-                .unwrap(),
+            OrientGraph::new(
+                6,
+                vec![(0, 1), (0, 2), (0, 3), (4, 0), (5, 0), (1, 2), (3, 4)],
+            )
+            .unwrap(),
         ];
         for (i, g) in cases.iter().enumerate() {
             let opt = exact_max_in_pairs(g);

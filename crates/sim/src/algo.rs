@@ -61,6 +61,15 @@ impl Algorithm {
         )
     }
 
+    /// Whether [`Algorithm::make`] consumes `AgentCtx::wake` — i.e. the
+    /// schedule itself depends on the absolute wake slot (the beacon
+    /// protocols listen to a globally-timed beacon stream). Sweeps can
+    /// hoist schedule construction out of the shift loop exactly when this
+    /// is false.
+    pub fn wake_sensitive(self) -> bool {
+        matches!(self, Algorithm::BeaconA | Algorithm::BeaconB)
+    }
+
     /// Whether this implementation carries a *proven* asymmetric rendezvous
     /// guarantee. True for the paper's construction (Theorem 3 / §3.2).
     /// The three baseline reconstructions are faithful in period structure
@@ -117,8 +126,12 @@ impl Algorithm {
             Algorithm::JumpStay => 4 * n * n * n + 64 * n + 64,
             Algorithm::Drds => 10 * n * n + 64,
             Algorithm::Random => 64 * kl * u64::from(rdv_strings::log_sharp(n) + 1) + 1024,
-            Algorithm::BeaconA => 256 * (k + ell) as u64 * u64::from(rdv_strings::log_sharp(n) + 1) + 4096,
-            Algorithm::BeaconB => 512 * ((k + ell) as u64 + u64::from(rdv_strings::log_sharp(n))) + 8192,
+            Algorithm::BeaconA => {
+                256 * (k + ell) as u64 * u64::from(rdv_strings::log_sharp(n) + 1) + 4096
+            }
+            Algorithm::BeaconB => {
+                512 * ((k + ell) as u64 + u64::from(rdv_strings::log_sharp(n))) + 8192
+            }
         }
     }
 }
@@ -192,10 +205,8 @@ mod tests {
 
     #[test]
     fn display_names_unique() {
-        let names: std::collections::HashSet<String> = Algorithm::TABLE1
-            .iter()
-            .map(|a| a.to_string())
-            .collect();
+        let names: std::collections::HashSet<String> =
+            Algorithm::TABLE1.iter().map(|a| a.to_string()).collect();
         assert_eq!(names.len(), Algorithm::TABLE1.len());
     }
 }

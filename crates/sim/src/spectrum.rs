@@ -199,7 +199,8 @@ mod tests {
         let spectrum = Spectrum::new(n, 12, 99);
         let mut feasible_checked = 0;
         for (wa, wb) in [(0u64, 5u64), (10, 3), (7, 7), (20, 40)] {
-            if let SensedOverlap::Feasible { .. } = classify_overlap(&spectrum, wa, wb, None, None) {
+            if let SensedOverlap::Feasible { .. } = classify_overlap(&spectrum, wa, wb, None, None)
+            {
                 let a = spectrum.sensed_set(wa, None).expect("feasible");
                 let b = spectrum.sensed_set(wb, None).expect("feasible");
                 let sa = GeneralSchedule::asynchronous(n, a).expect("valid");
@@ -213,6 +214,9 @@ mod tests {
                 feasible_checked += 1;
             }
         }
-        assert!(feasible_checked > 0, "test vacuous: no feasible pair sampled");
+        assert!(
+            feasible_checked > 0,
+            "test vacuous: no feasible pair sampled"
+        );
     }
 }

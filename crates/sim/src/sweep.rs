@@ -1,9 +1,10 @@
 //! Pairwise time-to-rendezvous sweeps — the engine behind the Table 1 and
 //! scaling experiments.
 
-use crate::algo::{AgentCtx, Algorithm};
+use crate::algo::{AgentCtx, Algorithm, DynSchedule};
 use crate::stats::Summary;
 use crate::workload::PairScenario;
+use rdv_core::compiled::CompiledSchedule;
 use rdv_core::verify;
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +59,37 @@ pub struct PairSweep {
     pub horizon: u64,
 }
 
+/// A schedule readied for repeated sweep evaluation: compiled to a flat
+/// one-period table when the period fits the [`CompiledSchedule`] cap,
+/// otherwise kept as the boxed schedule and evaluated through the chunked
+/// block kernel.
+enum Prepared {
+    Table(CompiledSchedule),
+    Dyn(DynSchedule),
+}
+
+impl Prepared {
+    fn new(schedule: DynSchedule) -> Self {
+        match CompiledSchedule::compile(&schedule) {
+            Some(c) => Prepared::Table(c),
+            None => Prepared::Dyn(schedule),
+        }
+    }
+}
+
+/// [`verify::async_ttr`] over prepared schedules, using the slice kernel
+/// when both sides are compiled.
+fn prepared_async_ttr(a: &Prepared, b: &Prepared, shift: u64, horizon: u64) -> Option<u64> {
+    match (a, b) {
+        (Prepared::Table(ca), Prepared::Table(cb)) => {
+            verify::async_ttr_tables(ca.table(), cb.table(), shift, horizon)
+        }
+        (Prepared::Table(ca), Prepared::Dyn(b)) => verify::async_ttr(ca, b, shift, horizon),
+        (Prepared::Dyn(a), Prepared::Table(cb)) => verify::async_ttr(a, cb, shift, horizon),
+        (Prepared::Dyn(a), Prepared::Dyn(b)) => verify::async_ttr(a, b, shift, horizon),
+    }
+}
+
 /// Measures times-to-rendezvous for one algorithm on one scenario across
 /// wake-up shifts (and seeds, for randomized algorithms).
 ///
@@ -65,6 +97,14 @@ pub struct PairSweep {
 /// from the summary — for the deterministic algorithms a non-zero failure
 /// count within their guarantee horizon indicates a bug and is asserted
 /// against throughout the test suite.
+///
+/// Schedule construction is hoisted out of the `(shift × seed)` loop: for
+/// every algorithm whose schedule does not depend on the wake slot
+/// ([`Algorithm::wake_sensitive`] is false — all but the beacon protocols)
+/// both schedules are built **once per seed**, compiled to period tables
+/// when small enough, and shared read-only across the worker threads. The
+/// beacon protocols, whose schedules listen to a globally-timed stream,
+/// keep the per-(shift, seed) construction.
 ///
 /// Returns `None` if the algorithm cannot be instantiated on the scenario
 /// or every sample failed.
@@ -105,9 +145,44 @@ pub fn sweep_pair_ttr(
         .map(|v| v.get())
         .unwrap_or(4)
         .min(shift_jobs.len().max(1));
-    let chunks: Vec<&[u64]> = shift_jobs.chunks(shift_jobs.len().div_ceil(threads)).collect();
+    let chunks: Vec<&[u64]> = shift_jobs
+        .chunks(shift_jobs.len().div_ceil(threads))
+        .collect();
+
+    // Build (and compile) once per seed for wake-insensitive algorithms;
+    // `None` marks a seed whose schedules could not be instantiated, which
+    // the workers count as one failure per swept shift (matching the old
+    // per-sample accounting).
+    let prepared: Option<Vec<Option<(Prepared, Prepared)>>> = if algorithm.wake_sensitive() {
+        None
+    } else {
+        Some(
+            (0..seeds)
+                .map(|seed| {
+                    let ctx_a = AgentCtx {
+                        wake: 0,
+                        agent_seed: seed.wrapping_mul(2),
+                        shared_seed: seed,
+                    };
+                    let ctx_b = AgentCtx {
+                        wake: 0,
+                        agent_seed: seed.wrapping_mul(2) + 1,
+                        shared_seed: seed,
+                    };
+                    match (
+                        algorithm.make(n, &scenario.a, &ctx_a),
+                        algorithm.make(n, &scenario.b, &ctx_b),
+                    ) {
+                        (Some(sa), Some(sb)) => Some((Prepared::new(sa), Prepared::new(sb))),
+                        _ => None,
+                    }
+                })
+                .collect(),
+        )
+    };
 
     let results: Vec<(Vec<u64>, usize)> = crossbeam::scope(|scope| {
+        let prepared = &prepared;
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
@@ -116,24 +191,35 @@ pub fn sweep_pair_ttr(
                     let mut local_failures = 0usize;
                     for &shift in *chunk {
                         for seed in 0..seeds {
-                            let ctx_a = AgentCtx {
-                                wake: 0,
-                                agent_seed: seed.wrapping_mul(2),
-                                shared_seed: seed,
+                            let outcome = if let Some(prepared) = prepared {
+                                match &prepared[seed as usize] {
+                                    Some((sa, sb)) => prepared_async_ttr(sa, sb, shift, horizon),
+                                    None => {
+                                        local_failures += 1;
+                                        continue;
+                                    }
+                                }
+                            } else {
+                                let ctx_a = AgentCtx {
+                                    wake: 0,
+                                    agent_seed: seed.wrapping_mul(2),
+                                    shared_seed: seed,
+                                };
+                                let ctx_b = AgentCtx {
+                                    wake: shift,
+                                    agent_seed: seed.wrapping_mul(2) + 1,
+                                    shared_seed: seed,
+                                };
+                                let (Some(sa), Some(sb)) = (
+                                    algorithm.make(n, &scenario.a, &ctx_a),
+                                    algorithm.make(n, &scenario.b, &ctx_b),
+                                ) else {
+                                    local_failures += 1;
+                                    continue;
+                                };
+                                verify::async_ttr(&sa, &sb, shift, horizon)
                             };
-                            let ctx_b = AgentCtx {
-                                wake: shift,
-                                agent_seed: seed.wrapping_mul(2) + 1,
-                                shared_seed: seed,
-                            };
-                            let (Some(sa), Some(sb)) = (
-                                algorithm.make(n, &scenario.a, &ctx_a),
-                                algorithm.make(n, &scenario.b, &ctx_b),
-                            ) else {
-                                local_failures += 1;
-                                continue;
-                            };
-                            match verify::async_ttr(&sa, &sb, shift, horizon) {
+                            match outcome {
                                 Some(ttr) => local.push(ttr),
                                 None => local_failures += 1,
                             }
@@ -143,7 +229,10 @@ pub fn sweep_pair_ttr(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker"))
+            .collect()
     })
     .expect("crossbeam scope");
 
@@ -226,14 +315,71 @@ mod tests {
             seeds: 1,
             horizon_override: 0,
         };
-        let sweep =
-            sweep_pair_ttr(Algorithm::OursSymmetric, 32, &scenario, &cfg).unwrap();
+        let sweep = sweep_pair_ttr(Algorithm::OursSymmetric, 32, &scenario, &cfg).unwrap();
         assert_eq!(sweep.failures, 0);
         assert!(
             sweep.summary.max < 12,
             "symmetric TTR {} should be < 12",
             sweep.summary.max
         );
+    }
+
+    #[test]
+    fn hoisted_sweep_matches_per_shift_construction() {
+        // The hoisted/compiled sweep must reproduce exactly the samples the
+        // old per-(shift, seed) construction produced.
+        let n = 16u64;
+        let scenario = workload::adversarial_overlap_one(n, 3, 3).unwrap();
+        let cfg = SweepConfig {
+            shifts: 12,
+            shift_stride: 7,
+            spread_over_period: false,
+            seeds: 3,
+            horizon_override: 0,
+        };
+        for algo in [
+            Algorithm::Ours,
+            Algorithm::OursSymmetric,
+            Algorithm::Crseq,
+            Algorithm::Drds,
+            Algorithm::Random,
+            Algorithm::BeaconA,
+        ] {
+            let sweep = sweep_pair_ttr(algo, n, &scenario, &cfg).unwrap();
+            let horizon = algo.horizon(n, 3, 3);
+            let seeds = if algo.is_deterministic() { 1 } else { 3 };
+            let mut reference = Vec::new();
+            let mut ref_failures = 0usize;
+            for shift in (0..12u64).map(|i| i * 7) {
+                for seed in 0..seeds {
+                    let ctx_a = AgentCtx {
+                        wake: 0,
+                        agent_seed: seed * 2,
+                        shared_seed: seed,
+                    };
+                    let ctx_b = AgentCtx {
+                        wake: shift,
+                        agent_seed: seed * 2 + 1,
+                        shared_seed: seed,
+                    };
+                    let sa = algo.make(n, &scenario.a, &ctx_a).unwrap();
+                    let sb = algo.make(n, &scenario.b, &ctx_b).unwrap();
+                    match rdv_core::verify::naive::async_ttr(&sa, &sb, shift, horizon) {
+                        Some(t) => reference.push(t),
+                        None => ref_failures += 1,
+                    }
+                }
+            }
+            let ref_summary = crate::stats::Summary::of(&reference).unwrap();
+            assert_eq!(sweep.failures, ref_failures, "{algo}");
+            assert_eq!(sweep.summary.count, ref_summary.count, "{algo}");
+            assert_eq!(sweep.summary.max, ref_summary.max, "{algo}");
+            assert_eq!(sweep.summary.p50, ref_summary.p50, "{algo}");
+            assert!(
+                (sweep.summary.mean - ref_summary.mean).abs() < 1e-9,
+                "{algo}"
+            );
+        }
     }
 
     #[test]

@@ -32,12 +32,7 @@ pub fn adversarial_overlap_one(n: u64, k: usize, ell: usize) -> Option<PairScena
 /// overlap (deterministic given the seed).
 ///
 /// Returns `None` if `k > n` or `ell > n`.
-pub fn random_overlapping_pair(
-    n: u64,
-    k: usize,
-    ell: usize,
-    seed: u64,
-) -> Option<PairScenario> {
+pub fn random_overlapping_pair(n: u64, k: usize, ell: usize, seed: u64) -> Option<PairScenario> {
     if k as u64 > n || ell as u64 > n {
         return None;
     }
@@ -64,10 +59,7 @@ pub fn symmetric_pair(n: u64, k: usize, seed: u64) -> Option<PairScenario> {
     let mut u: Vec<u64> = (1..=n).collect();
     u.shuffle(&mut rng);
     let a = ChannelSet::new(u[..k].iter().copied()).expect("non-empty");
-    Some(PairScenario {
-        b: a.clone(),
-        a,
-    })
+    Some(PairScenario { b: a.clone(), a })
 }
 
 /// The "coalition" scenario of the paper's introduction: a huge universe

@@ -312,7 +312,11 @@ pub struct ParseBitsError {
 
 impl fmt::Display for ParseBitsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid bit character {:?}, expected 0 or 1", self.offending)
+        write!(
+            f,
+            "invalid bit character {:?}, expected 0 or 1",
+            self.offending
+        )
     }
 }
 

@@ -44,7 +44,10 @@ impl CatalanCode {
     ///
     /// Panics if `input_len` is odd (balanced strings have even length).
     pub fn new(input_len: usize) -> Self {
-        assert!(input_len % 2 == 0, "balanced strings have even length");
+        assert!(
+            input_len.is_multiple_of(2),
+            "balanced strings have even length"
+        );
         let shift_width = if input_len <= 1 {
             1
         } else {

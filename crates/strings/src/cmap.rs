@@ -103,7 +103,10 @@ impl CCode {
             return None;
         }
         let x = c.slice(2, 2 + self.input_len);
-        let wt = c.slice(2 + self.input_len, c.len()).complement().decode_int();
+        let wt = c
+            .slice(2 + self.input_len, c.len())
+            .complement()
+            .decode_int();
         if wt as usize != x.weight() {
             return None;
         }
@@ -213,7 +216,10 @@ mod tests {
             out.extend_bits(&Bits::encode_int(x.weight() as u64, 2));
             out
         };
-        assert!(!diamond_path(&paper(&x), &paper(&y)), "paper version unexpectedly works");
+        assert!(
+            !diamond_path(&paper(&x), &paper(&y)),
+            "paper version unexpectedly works"
+        );
         // Our corrected code handles it.
         let code = CCode::new(3);
         assert!(diamond_path(&code.encode(&x), &code.encode(&y)));

@@ -194,9 +194,8 @@ mod tests {
         // Exhaustive check that ∀i,j alignment equals ∀d single-sided shifts.
         let r = bits("110100");
         let s = bits("101010");
-        let all_pairs = (0..6).all(|i| {
-            (0..6).all(|j| diamond_path(&r.cyclic_shift(i), &s.cyclic_shift(j)))
-        });
+        let all_pairs =
+            (0..6).all(|i| (0..6).all(|j| diamond_path(&r.cyclic_shift(i), &s.cyclic_shift(j))));
         assert_eq!(all_pairs, rhombus_path(&r, &s));
     }
 

@@ -114,17 +114,17 @@ mod tests {
     fn glyph_count_matches_length() {
         for s in ["10", "110100", "010011", "11110000"] {
             let art = render_walk(&bits(s));
-            let glyphs: usize = art
-                .chars()
-                .filter(|&c| c == '/' || c == '\\')
-                .count();
+            let glyphs: usize = art.chars().filter(|&c| c == '/' || c == '\\').count();
             assert_eq!(glyphs, s.len(), "{s}");
         }
     }
 
     #[test]
     fn describe_vocabulary() {
-        assert_eq!(describe(&bits("1100")), "balanced, strictly Catalan, 1-maximal, 1-minimal");
+        assert_eq!(
+            describe(&bits("1100")),
+            "balanced, strictly Catalan, 1-maximal, 1-minimal"
+        );
         assert!(describe(&bits("1010")).contains("Catalan"));
         assert!(!describe(&bits("1010")).contains("strictly"));
         assert_eq!(describe(&Bits::new()), "empty");

@@ -175,10 +175,7 @@ mod tests {
         // codewords (the complement argument never needs x ≠ y).
         for len in 1..=4usize {
             let code = RCode::new(len);
-            let words: Vec<_> = all_colors(len)
-                .iter()
-                .map(|x| code.encode(x))
-                .collect();
+            let words: Vec<_> = all_colors(len).iter().map(|x| code.encode(x)).collect();
             for a in &words {
                 for b in &words {
                     assert!(

@@ -120,7 +120,10 @@ impl Walk {
     /// A string is *t-maximal* when this equals `t`.
     pub fn maximal_count(&self) -> usize {
         let m = self.max_value();
-        self.heights[..self.len()].iter().filter(|&&h| h == m).count()
+        self.heights[..self.len()]
+            .iter()
+            .filter(|&&h| h == m)
+            .count()
     }
 
     /// Number of positions `0 ≤ i < |z|` at which `G_z` attains its minimum.
@@ -128,7 +131,10 @@ impl Walk {
     /// A string is *t-minimal* when this equals `t`.
     pub fn minimal_count(&self) -> usize {
         let m = self.min_value();
-        self.heights[..self.len()].iter().filter(|&&h| h == m).count()
+        self.heights[..self.len()]
+            .iter()
+            .filter(|&&h| h == m)
+            .count()
     }
 
     /// The smallest position `0 ≤ i < |z|` with `G_z(i) = max`.
@@ -313,10 +319,7 @@ mod tests {
             let z = bits(s);
             assert!(Walk::new(&z).is_catalan() || s.is_empty());
             let bracketed: Bits = format!("1{s}0").parse().unwrap();
-            assert!(
-                Walk::new(&bracketed).is_strictly_catalan(),
-                "1 ∘ {s} ∘ 0"
-            );
+            assert!(Walk::new(&bracketed).is_strictly_catalan(), "1 ∘ {s} ∘ 0");
         }
     }
 

@@ -26,7 +26,10 @@ fn main() {
     println!("ally B    : {b}");
     println!(
         "shared    : {:?}",
-        a.intersection(&b).iter().map(|c| c.get()).collect::<Vec<_>>()
+        a.intersection(&b)
+            .iter()
+            .map(|c| c.get())
+            .collect::<Vec<_>>()
     );
 
     let sa = GeneralSchedule::asynchronous(n, a.clone()).expect("valid");
@@ -46,6 +49,9 @@ fn main() {
     println!();
     println!("pair-schedule period at n=2^40 : {} slots", fam.period());
     println!("Theorem 3 bound for this pair  : {bound} slots");
-    println!("prior art (O(n^2)) period scale: ~{:e} slots", (n as f64).powi(2));
+    println!(
+        "prior art (O(n^2)) period scale: ~{:e} slots",
+        (n as f64).powi(2)
+    );
     assert!(worst <= bound);
 }

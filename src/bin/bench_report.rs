@@ -1,0 +1,124 @@
+//! Emits `BENCH_kernel.json`: machine-readable slots/sec of the naive
+//! per-slot TTR path vs the block-compiled kernel, so successive PRs can
+//! track the measurement engine's perf trajectory.
+//!
+//! ```text
+//! cargo run --release --bin bench_report [output-path]
+//! ```
+//!
+//! The workload is the worst-case exhaustive shift sweep
+//! (`verify::worst_async_ttr_exhaustive`) on the adversarial overlap-one
+//! scenario with `|A| = |B| = 4`, at `n ∈ {16, 64, 256}`. "Slots" counts
+//! the schedule evaluations the sweep semantically performs (`ttr + 1`
+//! slots per direction per shift) — identical for both paths, since the
+//! kernels are bit-equivalent — so slots/sec is directly comparable.
+
+use blind_rendezvous::core::general::GeneralSchedule;
+use blind_rendezvous::core::verify;
+use rdv_core::schedule::Schedule;
+use rdv_sim::workload;
+use serde_json::Value;
+use std::time::Instant;
+
+struct Cell {
+    n: u64,
+    swept_slots: u64,
+    naive_slots_per_sec: f64,
+    block_slots_per_sec: f64,
+    speedup: f64,
+}
+
+fn time_reps<F: FnMut()>(mut f: F) -> f64 {
+    // One warm-up, then enough reps to pass ~0.2 s.
+    f();
+    let mut reps = 0u32;
+    let start = Instant::now();
+    loop {
+        f();
+        reps += 1;
+        if start.elapsed().as_secs_f64() > 0.2 && reps >= 3 {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn measure(n: u64) -> Cell {
+    let k = 4usize;
+    let sc = workload::adversarial_overlap_one(n, k, k).expect("parameters fit");
+    let sa = GeneralSchedule::asynchronous(n, sc.a.clone()).expect("valid");
+    let sb = GeneralSchedule::asynchronous(n, sc.b.clone()).expect("valid");
+    let horizon = sa.ttr_bound(k) + 1;
+    let period = sa.period_hint().expect("periodic");
+
+    // Count the slots the sweep semantically evaluates (same for both
+    // paths — the kernels are bit-identical; asserted below).
+    let mut swept_slots = 0u64;
+    for shift in 0..period {
+        let later = verify::async_ttr(&sa, &sb, shift, horizon).expect("guaranteed rendezvous");
+        let earlier = verify::async_ttr(&sb, &sa, shift, horizon).expect("guaranteed rendezvous");
+        swept_slots += later + 1 + earlier + 1;
+    }
+
+    let naive_result = verify::naive::worst_async_ttr_exhaustive(&sa, &sb, horizon);
+    let block_result = verify::worst_async_ttr_exhaustive(&sa, &sb, horizon);
+    assert_eq!(naive_result, block_result, "kernel mismatch at n={n}");
+
+    let naive_secs = time_reps(|| {
+        std::hint::black_box(verify::naive::worst_async_ttr_exhaustive(&sa, &sb, horizon));
+    });
+    let block_secs = time_reps(|| {
+        std::hint::black_box(verify::worst_async_ttr_exhaustive(&sa, &sb, horizon));
+    });
+
+    Cell {
+        n,
+        swept_slots,
+        naive_slots_per_sec: swept_slots as f64 / naive_secs,
+        block_slots_per_sec: swept_slots as f64 / block_secs,
+        speedup: naive_secs / block_secs,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+    let mut cells = Vec::new();
+    for n in [16u64, 64, 256] {
+        let cell = measure(n);
+        println!(
+            "n={:<5} slots/sweep={:<10} naive={:>12.0} slots/s   block={:>14.0} slots/s   speedup={:.1}x",
+            cell.n, cell.swept_slots, cell.naive_slots_per_sec, cell.block_slots_per_sec, cell.speedup
+        );
+        cells.push(cell);
+    }
+    let report = Value::object([
+        ("bench", Value::from("worst_async_ttr_exhaustive")),
+        (
+            "workload",
+            Value::from("adversarial overlap-one pair, |A|=|B|=4, GeneralSchedule (Thm 3)"),
+        ),
+        ("unit", Value::from("schedule-evaluation slots per second")),
+        (
+            "scenarios",
+            Value::Array(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Value::object([
+                            ("n", Value::from(c.n)),
+                            ("swept_slots", Value::from(c.swept_slots)),
+                            ("naive_slots_per_sec", Value::from(c.naive_slots_per_sec)),
+                            ("block_slots_per_sec", Value::from(c.block_slots_per_sec)),
+                            ("speedup", Value::from(c.speedup)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report) + "\n")
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

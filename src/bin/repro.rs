@@ -103,7 +103,13 @@ fn table1_asym(ctx: &Ctx) {
         print!("{:>10}", format!("n={n}"));
     }
     println!("{:>9}{:>9}", "exp(n)", "paper");
-    let paper_exp = ["2 (n^2)", "3 (n^3)", "2 (n^2)", "~0 (kl loglog n)", "~0 (kl log n)"];
+    let paper_exp = [
+        "2 (n^2)",
+        "3 (n^3)",
+        "2 (n^2)",
+        "~0 (kl loglog n)",
+        "~0 (kl log n)",
+    ];
     let geometries = if ctx.quick { 3 } else { 8 };
     for (algo, paper) in algos.iter().zip(paper_exp) {
         let mut points = Vec::new();
@@ -111,12 +117,9 @@ fn table1_asym(ctx: &Ctx) {
         for &n in ns {
             // Worst case over several overlap geometries × many shifts:
             // the adversarial boundary pair plus seeded random overlaps.
-            let mut scenarios =
-                vec![workload::adversarial_overlap_one(n, 4, 4).expect("fits")];
+            let mut scenarios = vec![workload::adversarial_overlap_one(n, 4, 4).expect("fits")];
             for seed in 0..geometries {
-                scenarios.push(
-                    workload::random_overlapping_pair(n, 4, 4, seed).expect("fits"),
-                );
+                scenarios.push(workload::random_overlapping_pair(n, 4, 4, seed).expect("fits"));
             }
             let mut worst = 0u64;
             let mut failures = 0usize;
@@ -173,7 +176,13 @@ fn table1_sym(ctx: &Ctx) {
         Algorithm::Ours,
         Algorithm::OursSymmetric,
     ];
-    let paper_exp = ["2 (n^2)", "1 (n)", "n/a (reconstr.)", "kl loglog n", "0 (O(1))"];
+    let paper_exp = [
+        "2 (n^2)",
+        "1 (n)",
+        "n/a (reconstr.)",
+        "kl loglog n",
+        "0 (O(1))",
+    ];
     print!("{:<16}", "algorithm");
     for n in ns {
         print!("{:>10}", format!("n={n}"));
@@ -225,8 +234,15 @@ fn thm3_scaling(ctx: &Ctx) {
         seeds: 1,
         horizon_override: 0,
     };
-    println!("{:<8}{:>8}{:>10}{:>12}{:>12}", "k=l", "k*l", "maxTTR", "TTR/(k*l)", "bound");
-    let ks: &[usize] = if ctx.quick { &[2, 3, 4, 6] } else { &[2, 3, 4, 6, 8, 12] };
+    println!(
+        "{:<8}{:>8}{:>10}{:>12}{:>12}",
+        "k=l", "k*l", "maxTTR", "TTR/(k*l)", "bound"
+    );
+    let ks: &[usize] = if ctx.quick {
+        &[2, 3, 4, 6]
+    } else {
+        &[2, 3, 4, 6, 8, 12]
+    };
     for &k in ks {
         let n = 256u64;
         let scenario = workload::adversarial_overlap_one(n, k, k).expect("fits");
@@ -299,10 +315,16 @@ fn figures() {
     header("E4: Figure 1 — walks and balanced strings");
     let fig1a: Bits = "11010".parse().expect("literal");
     let fig1b: Bits = "110001".parse().expect("literal");
-    println!("(a) the graph of 11010 ({}):", rdv_strings::render::describe(&fig1a));
+    println!(
+        "(a) the graph of 11010 ({}):",
+        rdv_strings::render::describe(&fig1a)
+    );
     print!("{}", rdv_strings::render::render_walk(&fig1a));
     println!();
-    println!("(b) the graph of 110001 ({}):", rdv_strings::render::describe(&fig1b));
+    println!(
+        "(b) the graph of 110001 ({}):",
+        rdv_strings::render::describe(&fig1b)
+    );
     print!("{}", rdv_strings::render::render_walk(&fig1b));
 
     header("E5: Figure 2 — a strictly Catalan codeword and a shift of it");
@@ -325,7 +347,10 @@ fn lb_exact(ctx: &Ctx) {
     header("E8: Theorem 4 companion — exact R_s(n,2) and cyclic R_a(n,2) by exhaustive search");
     let max_n_sync = if ctx.quick { 8 } else { 10 };
     let max_n_cyc = 3; // n = 4 already needs a cyclic period > 6 (beyond the 2^6 domain)
-    println!("{:<6}{:>12}{:>16}{:>22}", "n", "R_s(n,2)", "cyclic R_a(n,2)", "Ramsey threshold m");
+    println!(
+        "{:<6}{:>12}{:>16}{:>22}",
+        "n", "R_s(n,2)", "cyclic R_a(n,2)", "Ramsey threshold m"
+    );
     for n in 2..=max_n_sync {
         let rs = match exact::exact_rs_n2(n, 5, 1 << 26) {
             exact::SearchOutcome::Optimal(t) => t.to_string(),
@@ -353,7 +378,10 @@ fn lb_exact(ctx: &Ctx) {
 fn lb_sync(ctx: &Ctx) {
     header("E9: Theorem 6 — pigeonhole certificates (R_s ≥ αk for concrete families)");
     let n = if ctx.quick { 16 } else { 64 };
-    println!("{:<26}{:>4}{:>4}{:>18}", "family", "k", "α", "certified bound");
+    println!(
+        "{:<26}{:>4}{:>4}{:>18}",
+        "family", "k", "α", "certified bound"
+    );
     let round_robin = |set: &ChannelSet| {
         rdv_core::schedule::CyclicSchedule::new(set.iter().collect()).expect("non-empty")
     };
@@ -363,7 +391,10 @@ fn lb_sync(ctx: &Ctx) {
                 "{:<26}{:>4}{:>4}{:>18}",
                 "round-robin", k, alpha, w.certified_bound
             ),
-            None => println!("{:<26}{:>4}{:>4}{:>18}", "round-robin", k, alpha, "no witness"),
+            None => println!(
+                "{:<26}{:>4}{:>4}{:>18}",
+                "round-robin", k, alpha, "no witness"
+            ),
         }
     }
     let ours = |set: &ChannelSet| {
@@ -402,12 +433,17 @@ fn lb_async(ctx: &Ctx) {
         &[(2, 2), (2, 4), (3, 3), (4, 4), (4, 6), (6, 6)]
     };
     for &(k, l) in grid {
-        let w = density::worst_overlap_one_pair(&family, n, k, l, 1 << 22, 5, 128)
-            .expect("witness");
+        let w =
+            density::worst_overlap_one_pair(&family, n, k, l, 1 << 22, 5, 128).expect("witness");
         let bound = family(&w.a).ttr_bound(l);
         println!(
             "{:<6}{:<6}{:>8}{:>10}{:>12.2}{:>14}",
-            k, l, k * l, w.ttr, w.barrier_ratio, bound
+            k,
+            l,
+            k * l,
+            w.ttr,
+            w.barrier_ratio,
+            bound
         );
     }
     println!();
@@ -420,7 +456,7 @@ fn beacon(ctx: &Ctx) {
     let cfg = SweepConfig {
         shifts: 4,
         shift_stride: 9,
-            spread_over_period: true,
+        spread_over_period: true,
         seeds: if ctx.quick { 12 } else { 32 },
         horizon_override: 0,
     };
@@ -495,7 +531,10 @@ fn sdp_experiment(ctx: &Ctx) {
                 (u, v)
             })
             .collect();
-        instances.push((format!("random-{i}"), OrientGraph::new(nv, edges).expect("valid")));
+        instances.push((
+            format!("random-{i}"),
+            OrientGraph::new(nv, edges).expect("valid"),
+        ));
     }
     let mut min_ratio = f64::INFINITY;
     for (name, g) in &instances {

@@ -83,6 +83,88 @@ proptest! {
     }
 
     #[test]
+    fn kernel_equivalence_all_algorithms(
+        (n, a, b) in overlapping_instance(),
+        shift in 0u64..5_000,
+        seed in 0u64..4,
+    ) {
+        // The block/compiled kernels must return bit-identical TTRs and
+        // fingerprints to the naive per-slot channel_at path, for every
+        // algorithm in the workspace.
+        use blind_rendezvous::sim::algo::AgentCtx;
+        use rdv_core::compiled::CompiledSchedule;
+        use rdv_core::schedule::fingerprint;
+        let algos = [
+            Algorithm::Ours,
+            Algorithm::OursSymmetric,
+            Algorithm::Crseq,
+            Algorithm::JumpStay,
+            Algorithm::Drds,
+            Algorithm::Random,
+            Algorithm::BeaconA,
+            Algorithm::BeaconB,
+        ];
+        for algo in algos {
+            let ctx_a = AgentCtx { wake: 0, agent_seed: seed * 2, shared_seed: seed };
+            let ctx_b = AgentCtx { wake: shift, agent_seed: seed * 2 + 1, shared_seed: seed };
+            let (Some(sa), Some(sb)) = (algo.make(n, &a, &ctx_a), algo.make(n, &b, &ctx_b))
+            else {
+                continue;
+            };
+            let horizon = algo.horizon(n, a.len(), b.len()).min(20_000);
+            let reference = verify::naive::async_ttr(&sa, &sb, shift, horizon);
+            prop_assert_eq!(
+                verify::async_ttr(&sa, &sb, shift, horizon),
+                reference,
+                "{} chunked kernel diverged (n={}, shift={})", algo, n, shift
+            );
+            if let (Some(ca), Some(cb)) =
+                (CompiledSchedule::compile(&sa), CompiledSchedule::compile(&sb))
+            {
+                prop_assert_eq!(
+                    verify::async_ttr_tables(ca.table(), cb.table(), shift, horizon),
+                    reference,
+                    "{} table kernel diverged (n={}, shift={})", algo, n, shift
+                );
+            }
+            // Fingerprints consume fill_channels; compare against a direct
+            // per-slot FNV-1a of channel_at.
+            let span = 1_500u64;
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for t in 0..span {
+                for byte in sa.channel_at(t).get().to_le_bytes() {
+                    h ^= u64::from(byte);
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+            prop_assert_eq!(
+                fingerprint(&sa, span), h,
+                "{} fill_channels fingerprint diverged (n={})", algo, n
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_sweep_equivalence(
+        (n, a, b) in overlapping_instance(),
+    ) {
+        // The compile-once sliding sweep must match the naive exhaustive
+        // sweep exactly — same worst shift, same worst TTR.
+        let sa = GeneralSchedule::asynchronous(n, a.clone()).expect("valid");
+        let sb = GeneralSchedule::asynchronous(n, b.clone()).expect("valid");
+        let horizon = sa.ttr_bound(b.len()) + 1;
+        // The naive path costs O(period × TTR); cap the sweep size to keep
+        // the reference tractable while still crossing chunk boundaries.
+        if sa.period_hint().expect("periodic") <= 4_096 {
+            prop_assert_eq!(
+                verify::worst_async_ttr_exhaustive(&sa, &sb, horizon),
+                verify::naive::worst_async_ttr_exhaustive(&sa, &sb, horizon),
+                "exhaustive sweep diverged (A={}, B={}, n={})", a, b, n
+            );
+        }
+    }
+
+    #[test]
     fn baselines_meet_on_random_small_instances(
         seed in 0u64..500,
         shift in 0u64..2_000,

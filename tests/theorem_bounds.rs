@@ -37,10 +37,7 @@ fn theorem1_all_pairs_all_shifts_n6() {
                 let sb = fam.schedule(a2, b2).unwrap();
                 for shift in 0..period {
                     let ttr = verify::async_ttr(&sa, &sb, shift, period);
-                    assert!(
-                        ttr.is_some(),
-                        "({a1},{b1}) vs ({a2},{b2}) at shift {shift}"
-                    );
+                    assert!(ttr.is_some(), "({a1},{b1}) vs ({a2},{b2}) at shift {shift}");
                 }
             }
         }
@@ -120,8 +117,7 @@ fn exact_lower_bounds_bracket_our_construction() {
     let fam = PairFamily::new(n).unwrap();
     let sa = fam.schedule(1, 2).unwrap();
     let sb = fam.schedule(2, 3).unwrap();
-    let worst = verify::worst_async_ttr_exhaustive(&sa, &sb, 4 * fam.period())
-        .expect("rendezvous");
+    let worst = verify::worst_async_ttr_exhaustive(&sa, &sb, 4 * fam.period()).expect("rendezvous");
     assert!(
         worst.ttr + 1 >= u64::from(rs),
         "measured {} beats the provable sync optimum {rs}",
@@ -145,5 +141,8 @@ fn randomized_baseline_obeys_its_whp_bound_statistically() {
             over += 1;
         }
     }
-    assert!(over < trials / 10, "{over}/{trials} trials exceeded 10x the expected scale");
+    assert!(
+        over < trials / 10,
+        "{over}/{trials} trials exceeded 10x the expected scale"
+    );
 }

@@ -1,0 +1,302 @@
+//! Minimal offline stand-in for `criterion`: a real (if simple) wall-clock
+//! measuring harness with criterion's call-site API.
+//!
+//! Each `Bencher::iter` call warms up for the configured duration, picks an
+//! iteration count that fills the measurement window, then reports mean
+//! ns/iteration (plus throughput when configured). Output goes to stdout,
+//! one line per benchmark — machine-greppable as `bench: <id> ... ns/iter`.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation for per-element / per-byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(900),
+            sample_size: 10,
+        }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples (kept for API compatibility; the stub
+    /// sizes iteration counts from the measurement window instead).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.config);
+        f(&mut b);
+        b.report("", &id.into().id, None);
+        self
+    }
+
+    /// Criterion's post-run hook; a no-op here.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks sharing config and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Sets the sample count for this group (API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure that receives an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.config);
+        f(&mut b, input);
+        b.report(&self.name, &id.into().id, self.throughput);
+        self
+    }
+
+    /// Benchmarks a plain closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.config);
+        f(&mut b);
+        b.report(&self.name, &id.into().id, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    config: Config,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    fn new(config: Config) -> Self {
+        Bencher {
+            config,
+            mean_ns: f64::NAN,
+        }
+    }
+
+    /// Times the closure: warm-up, then a measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.config.warm_up;
+        let mut warm_runs = 0u64;
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            warm_runs += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / warm_runs.max(1);
+        let budget = self.config.measurement.as_nanos() as u64;
+        let iters = (budget / per_iter.max(1)).clamp(1, 50_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Criterion's batched iteration; measured the same way here.
+    pub fn iter_batched<S, O, FS, F>(&mut self, mut setup: FS, mut f: F, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        let input = setup();
+        // One-shot timing of `f` on a fresh input; setup excluded.
+        let start = Instant::now();
+        black_box(f(input));
+        let once = start.elapsed().as_nanos().max(1) as u64;
+        let iters = (self.config.measurement.as_nanos() as u64 / once).clamp(1, 1_000_000);
+        let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(f(input));
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        let full = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 * 1e9 / self.mean_ns;
+                println!(
+                    "bench: {full:<50} {:>14.1} ns/iter {:>16.0} elem/s",
+                    self.mean_ns, rate
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 * 1e9 / self.mean_ns;
+                println!(
+                    "bench: {full:<50} {:>14.1} ns/iter {:>16.0} B/s",
+                    self.mean_ns, rate
+                );
+            }
+            None => println!("bench: {full:<50} {:>14.1} ns/iter", self.mean_ns),
+        }
+    }
+}
+
+/// Batch size hint for `iter_batched` (API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Declares a benchmark group, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

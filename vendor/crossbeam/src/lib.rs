@@ -1,0 +1,87 @@
+//! Minimal offline stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope` (which post-dates crossbeam's API and makes the
+//! shim a thin wrapper).
+
+use std::any::Any;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope so it can
+    /// spawn further threads (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// A join handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (`Err` on panic).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which spawned threads are joined before returning.
+///
+/// Unlike crossbeam (which collects panics), a panicking child thread
+/// propagates when `std::thread::scope` unwinds; the `Ok` wrapper exists
+/// for call-site compatibility with `crossbeam::scope(...)`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1u64, 2, 3, 4];
+        let chunks: Vec<&[u64]> = data.chunks(2).collect();
+        let sums: Vec<u64> = super::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|c| scope.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let r = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u32).join().map(|x| x * 2).expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(r, 42);
+    }
+}

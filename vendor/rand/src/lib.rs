@@ -1,0 +1,266 @@
+//! Minimal offline stand-in for `rand` 0.8.
+//!
+//! Implements exactly the slice of the `rand` API this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::{gen, gen_range}`, and
+//! `seq::SliceRandom::{shuffle, choose}`. The generator is xoshiro256++
+//! seeded through SplitMix64 — deterministic, fast, and of ample quality
+//! for seeded experiment workloads (it is *not* the upstream ChaCha12, so
+//! seeded streams differ from crates.io `rand`).
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable from the "standard" distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange for core::ops::Range<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl SampleRange for core::ops::RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*
+    };
+}
+int_ranges!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_ranges {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange for core::ops::Range<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+            impl SampleRange for core::ops::RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+                }
+            }
+        )*
+    };
+}
+signed_ranges!(i8, i16, i32, i64, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u = f64::sample_standard(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: u64 = a.gen_range(10u64..20);
+            assert_eq!(x, b.gen_range(10u64..20));
+            assert!((10..20).contains(&x));
+        }
+        let f: f64 = a.gen_range(0.25..0.75);
+        assert!((0.25..0.75).contains(&f));
+        let v: f64 = a.gen();
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u64> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never stay sorted");
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..=2)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,29 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` marker traits plus re-exported
+//! derives. The workspace uses the derives as API markers only; actual JSON
+//! emission goes through the (equally local) `serde_json` value type.
+
+/// Marker for serializable types.
+pub trait Serialize {}
+
+/// Marker for deserializable types.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String, char);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}

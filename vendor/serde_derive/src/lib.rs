@@ -1,0 +1,42 @@
+//! Minimal offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace's build environment has no network access, so the real
+//! crates.io `serde` cannot be vendored. The workspace only uses the
+//! derives as markers (no runtime (de)serialization of derived types goes
+//! through serde itself), so the derives expand to empty trait impls.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the (empty) `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Derives the (empty) `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Extracts the type name following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: could not find a struct/enum name")
+}

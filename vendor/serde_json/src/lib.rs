@@ -1,0 +1,178 @@
+//! Minimal offline stand-in for `serde_json`: a JSON `Value` tree with a
+//! correct, escaping renderer. Enough to emit machine-readable reports
+//! (`BENCH_kernel.json` and friends) without the crates.io dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (rendered with up to 17 significant digits).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with stable (sorted) key order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Convenience object constructor from `(key, value)` pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Number(x)
+    }
+}
+impl From<u64> for Value {
+    fn from(x: u64) -> Value {
+        Value::Number(x as f64)
+    }
+}
+impl From<usize> for Value {
+    fn from(x: usize) -> Value {
+        Value::Number(x as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+fn write_number(f: &mut fmt::Formatter<'_>, x: f64) -> fmt::Result {
+    if !x.is_finite() {
+        return write!(f, "null");
+    }
+    if x == x.trunc() && x.abs() < 9e15 {
+        write!(f, "{}", x as i64)
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+fn write_value(f: &mut fmt::Formatter<'_>, v: &Value, indent: usize, pretty: bool) -> fmt::Result {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match v {
+        Value::Null => write!(f, "null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Number(x) => write_number(f, *x),
+        Value::String(s) => write_escaped(f, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                return write!(f, "[]");
+            }
+            write!(f, "[{nl}")?;
+            for (i, item) in items.iter().enumerate() {
+                write!(f, "{pad_in}")?;
+                write_value(f, item, indent + 1, pretty)?;
+                if i + 1 < items.len() {
+                    write!(f, ",")?;
+                }
+                write!(f, "{nl}")?;
+            }
+            write!(f, "{pad}]")
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                return write!(f, "{{}}");
+            }
+            write!(f, "{{{nl}")?;
+            for (i, (k, val)) in map.iter().enumerate() {
+                write!(f, "{pad_in}")?;
+                write_escaped(f, k)?;
+                write!(f, ":")?;
+                if pretty {
+                    write!(f, " ")?;
+                }
+                write_value(f, val, indent + 1, pretty)?;
+                if i + 1 < map.len() {
+                    write!(f, ",")?;
+                }
+                write!(f, "{nl}")?;
+            }
+            write!(f, "{pad}}}")
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self, 0, f.alternate())
+    }
+}
+
+/// Renders a value as compact JSON.
+pub fn to_string(v: &Value) -> String {
+    format!("{v}")
+}
+
+/// Renders a value as human-readable, 2-space-indented JSON.
+pub fn to_string_pretty(v: &Value) -> String {
+    format!("{v:#}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_json() {
+        let v = Value::object([
+            ("name", Value::from("a\"b")),
+            ("n", Value::from(64u64)),
+            ("rate", Value::from(1.5f64)),
+            ("flags", Value::Array(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(
+            to_string(&v),
+            "{\"flags\":[true,null],\"n\":64,\"name\":\"a\\\"b\",\"rate\":1.5}"
+        );
+        assert!(to_string_pretty(&v).contains("\n  \"n\": 64"));
+    }
+}
