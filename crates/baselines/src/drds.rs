@@ -32,7 +32,7 @@
 //! `P`.
 //!
 //! Asymmetric sets use the rotating projection
-//! ([`project_rotating`](crate::projection::project_rotating)), which keeps
+//! ([`crate::projection::project_rotating`]), which keeps
 //! the guarantee empirically strong (measured in the Table 1 harness) while
 //! remaining deterministic and anonymous.
 

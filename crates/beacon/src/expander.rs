@@ -1,5 +1,5 @@
 //! The Gabber–Galil expander on `ℤ_m × ℤ_m`, used for deterministic
-//! amplification (Section 5's improved protocol, via [10]).
+//! amplification (Section 5's improved protocol, via \[10\]).
 //!
 //! Vertices are pairs `(x, y) ∈ ℤ_m²`; each vertex has eight neighbors
 //!

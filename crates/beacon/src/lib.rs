@@ -8,7 +8,7 @@
 //! * [`model`] — the shared beacon bit stream (seeded, random-access).
 //! * [`minwise`] — ε-min-wise independent permutation families realized as
 //!   `t`-wise independent polynomial hashing over `F_q` (Indyk's
-//!   construction [11]).
+//!   construction \[11\]).
 //! * [`expander`] — the explicit Gabber–Galil constant-degree expander on
 //!   `ℤ_m × ℤ_m`, used for deterministic amplification by random walk.
 //! * [`protocol`] — the two protocols of Section 5: protocol A re-seeds a

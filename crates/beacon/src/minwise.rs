@@ -4,7 +4,7 @@
 //! if for every `A ⊆ [n]` and `a ∈ A`,
 //! `Pr_{π∈R}[π(a) = min π(A)] ≥ (1 − ε)/|A|`.
 //!
-//! Indyk [11] showed that `t`-wise independent hash families with
+//! Indyk \[11\] showed that `t`-wise independent hash families with
 //! `t = O(log 1/ε)` are ε-min-wise independent and representable in
 //! `O(log n · log 1/ε)` bits. We realize the family as degree-`(t−1)`
 //! polynomials over a prime field `F_q` with `q ≥ n²` (the square keeps

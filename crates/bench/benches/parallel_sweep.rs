@@ -1,0 +1,85 @@
+//! The work-stealing sweep orchestrator: full `(shift × seed)` sweep cost
+//! at 1 vs N worker threads, plus the multi-agent engine's sequential
+//! block path vs its per-pair parallel scan.
+//!
+//! On a single-core runner the thread counts collapse to the same wall
+//! clock (the orchestrator clamps to available parallelism only when asked
+//! for `0`); the bench's value there is tracking orchestration *overhead* —
+//! the 1-thread inline path vs the deque-scheduled path must stay within
+//! noise of each other, since both run the identical kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_bench::scenario;
+use rdv_sim::algo::AgentCtx;
+use rdv_sim::engine::{Agent, Simulation};
+use rdv_sim::sweep::{sweep_pair_ttr, SweepConfig};
+use rdv_sim::{workload, Algorithm, ParallelConfig};
+use std::hint::black_box;
+
+fn sweep_cfg(threads: usize) -> SweepConfig {
+    SweepConfig {
+        shifts: 256,
+        shift_stride: 7,
+        spread_over_period: true,
+        seeds: 2,
+        horizon_override: 0,
+        threads,
+    }
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_sweep");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(10);
+    let n = 64u64;
+    let sc = scenario(n, 4);
+    for threads in [1usize, 2, 8] {
+        let cfg = sweep_cfg(threads);
+        group.bench_with_input(
+            BenchmarkId::new("ours_256_shifts", threads),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| black_box(sweep_pair_ttr(Algorithm::Ours, n, &sc, cfg).expect("sweep")))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_engine");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(10);
+    let n = 64u64;
+    let sets = workload::clustered_population(n, 4, 24, 11);
+    let agents: Vec<Agent> = sets
+        .into_iter()
+        .enumerate()
+        .map(|(i, set)| {
+            let ctx = AgentCtx {
+                wake: (i as u64) * 97,
+                agent_seed: i as u64,
+                shared_seed: 3,
+            };
+            Agent {
+                schedule: Algorithm::Ours.make(n, &set, &ctx).expect("valid"),
+                set,
+                wake: ctx.wake,
+            }
+        })
+        .collect();
+    let sim = Simulation::new(agents);
+    let horizon = 1 << 15;
+    for threads in [1usize, 2, 8] {
+        let cfg = ParallelConfig::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("clustered_24", threads), &cfg, |b, cfg| {
+            b.iter(|| black_box(sim.run_with(horizon, cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_sweep, bench_parallel_engine);
+criterion_main!(benches);

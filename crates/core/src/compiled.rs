@@ -92,6 +92,65 @@ impl CompiledSchedule {
     }
 }
 
+/// A schedule readied for repeated sweep evaluation: compiled to a flat
+/// one-period table when the period fits the [`CompiledSchedule`] cap,
+/// otherwise kept as the raw schedule and evaluated through the chunked
+/// block kernels.
+///
+/// This is the unit the parallel sweep orchestrator shares **read-only
+/// across worker threads**: it is `Send + Sync` whenever the wrapped
+/// schedule is, compilation happens once before the fan-out, and every
+/// worker then evaluates shifts against the same immutable table (see
+/// [`crate::verify::async_ttr_prepared`]).
+pub enum PreparedSchedule<S> {
+    /// The schedule's period fit the cap and was flattened into a table.
+    Table(CompiledSchedule),
+    /// Aperiodic or oversized-period fallback: the schedule itself.
+    Raw(S),
+}
+
+impl<S: Schedule> PreparedSchedule<S> {
+    /// Compiles `schedule` under the default period cap, falling back to
+    /// the raw schedule when compilation is refused.
+    pub fn new(schedule: S) -> Self {
+        match CompiledSchedule::compile(&schedule) {
+            Some(c) => PreparedSchedule::Table(c),
+            None => PreparedSchedule::Raw(schedule),
+        }
+    }
+
+    /// The compiled period table, when compilation succeeded.
+    pub fn table(&self) -> Option<&CompiledSchedule> {
+        match self {
+            PreparedSchedule::Table(c) => Some(c),
+            PreparedSchedule::Raw(_) => None,
+        }
+    }
+}
+
+impl<S: Schedule> Schedule for PreparedSchedule<S> {
+    fn channel_at(&self, t: u64) -> Channel {
+        match self {
+            PreparedSchedule::Table(c) => c.channel_at(t),
+            PreparedSchedule::Raw(s) => s.channel_at(t),
+        }
+    }
+
+    fn period_hint(&self) -> Option<u64> {
+        match self {
+            PreparedSchedule::Table(c) => c.period_hint(),
+            PreparedSchedule::Raw(s) => s.period_hint(),
+        }
+    }
+
+    fn fill_channels(&self, start: u64, out: &mut [u64]) {
+        match self {
+            PreparedSchedule::Table(c) => c.fill_channels(start, out),
+            PreparedSchedule::Raw(s) => s.fill_channels(start, out),
+        }
+    }
+}
+
 impl Schedule for CompiledSchedule {
     fn channel_at(&self, t: u64) -> Channel {
         Channel::new(self.table[(t % self.table.len() as u64) as usize])

@@ -18,7 +18,7 @@
 //! # Layout
 //!
 //! * [`channel`] — validated channel and channel-set types.
-//! * [`schedule`] — the [`Schedule`](schedule::Schedule) trait (including
+//! * [`schedule`] — the [`schedule::Schedule`] trait (including
 //!   the bulk `fill_channels` API) and basic combinators.
 //! * [`compiled`] — one-period table compilation for periodic schedules,
 //!   feeding the slice-scan sweep kernels.

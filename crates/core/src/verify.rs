@@ -129,6 +129,39 @@ pub fn async_ttr_tables(ta: &[u64], tb: &[u64], shift: u64, max_steps: u64) -> O
     None
 }
 
+/// [`async_ttr`] over two [`crate::compiled::PreparedSchedule`]s,
+/// dispatching to the
+/// table-sliding kernel when both sides compiled and to the chunked block
+/// kernel otherwise.
+///
+/// Both arguments are read-only; the parallel sweep orchestrator shares
+/// one prepared pair across all of its worker threads and calls this per
+/// (shift, seed) sample.
+pub fn async_ttr_prepared<SA, SB>(
+    a: &crate::compiled::PreparedSchedule<SA>,
+    b: &crate::compiled::PreparedSchedule<SB>,
+    shift: u64,
+    max_steps: u64,
+) -> Option<u64>
+where
+    SA: Schedule,
+    SB: Schedule,
+{
+    use crate::compiled::PreparedSchedule;
+    match (a, b) {
+        (PreparedSchedule::Table(ca), PreparedSchedule::Table(cb)) => {
+            async_ttr_tables(ca.table(), cb.table(), shift, max_steps)
+        }
+        (PreparedSchedule::Table(ca), PreparedSchedule::Raw(b)) => {
+            async_ttr(ca, b, shift, max_steps)
+        }
+        (PreparedSchedule::Raw(a), PreparedSchedule::Table(cb)) => {
+            async_ttr(a, cb, shift, max_steps)
+        }
+        (PreparedSchedule::Raw(a), PreparedSchedule::Raw(b)) => async_ttr(a, b, shift, max_steps),
+    }
+}
+
 /// `lcm(a, b)`, saturating at `u64::MAX`.
 fn joint_period(a: u64, b: u64) -> u64 {
     fn gcd(mut a: u64, mut b: u64) -> u64 {
@@ -451,6 +484,40 @@ mod tests {
             worst_async_ttr_exhaustive(&a, &b, 5_000),
             naive::worst_async_ttr_exhaustive(&a, &b, 5_000)
         );
+    }
+
+    #[test]
+    fn prepared_dispatch_matches_naive_in_all_four_arms() {
+        struct NoPeriod(CyclicSchedule);
+        impl Schedule for NoPeriod {
+            fn channel_at(&self, t: u64) -> Channel {
+                self.0.channel_at(t)
+            }
+        }
+        let a = cyc(&[7, 3, 3, 9, 7, 1, 4]);
+        let b = cyc(&[4, 9, 1]);
+        let table_a = crate::compiled::PreparedSchedule::new(a.clone());
+        let table_b = crate::compiled::PreparedSchedule::new(b.clone());
+        let raw_a = crate::compiled::PreparedSchedule::new(NoPeriod(a.clone()));
+        let raw_b = crate::compiled::PreparedSchedule::new(NoPeriod(b.clone()));
+        assert!(table_a.table().is_some() && raw_a.table().is_none());
+        for shift in [0u64, 1, 5, 19, 700] {
+            let expected = naive::async_ttr(&a, &b, shift, 2_000);
+            assert_eq!(
+                async_ttr_prepared(&table_a, &table_b, shift, 2_000),
+                expected
+            );
+            assert_eq!(async_ttr_prepared(&raw_a, &table_b, shift, 2_000), expected);
+            let expected_rev = naive::async_ttr(&b, &a, shift, 2_000);
+            assert_eq!(
+                async_ttr_prepared(&table_b, &raw_a, shift, 2_000),
+                expected_rev
+            );
+            assert_eq!(
+                async_ttr_prepared(&raw_b, &raw_a, shift, 2_000),
+                expected_rev
+            );
+        }
     }
 
     #[test]

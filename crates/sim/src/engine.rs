@@ -1,6 +1,7 @@
 //! The multi-agent discrete-time simulator.
 
 use crate::algo::DynSchedule;
+use crate::pool::{self, ParallelConfig};
 use rdv_core::channel::ChannelSet;
 use std::collections::HashMap;
 
@@ -57,25 +58,10 @@ impl Simulation {
         &self.agents
     }
 
-    /// Runs the simulation for `horizon` absolute slots, recording the
-    /// first meeting slot of every overlapping pair.
-    ///
-    /// A meeting is two *awake* agents hopping on the same channel in the
-    /// same slot. Agents whose sets do not overlap are ignored (they can
-    /// never meet).
-    ///
-    /// The engine advances in blocks: each agent's channels for the block
-    /// are filled once through the bulk
-    /// [`fill_channels`](rdv_core::schedule::Schedule::fill_channels)
-    /// kernel into a flat per-agent buffer (`0` marks not-yet-awake slots —
-    /// channels are 1-indexed, so the sentinel is unambiguous), then each
-    /// pending pair is resolved by a pair-major scan over the two buffers.
-    /// This replaces the former per-slot `HashMap<channel, Vec<agent>>`
-    /// grouping and its linear membership probes.
-    pub fn run(&self, horizon: u64) -> MeetingReport {
-        const BLOCK: usize = 512;
+    /// The overlapping (i, j) pairs, i < j — the work list of a run.
+    fn overlapping_pairs(&self) -> Vec<(usize, usize)> {
         let n = self.agents.len();
-        let mut pending: Vec<(usize, usize)> = Vec::new();
+        let mut pending = Vec::new();
         for i in 0..n {
             for j in i + 1..n {
                 if self.agents[i].set.overlaps(&self.agents[j].set) {
@@ -83,6 +69,104 @@ impl Simulation {
                 }
             }
         }
+        pending
+    }
+
+    /// Runs the simulation for `horizon` absolute slots, recording the
+    /// first meeting slot of every overlapping pair.
+    ///
+    /// Equivalent to [`Self::run_with`] under the default (auto-detected)
+    /// thread count; the report is bit-identical for every thread count.
+    pub fn run(&self, horizon: u64) -> MeetingReport {
+        self.run_with(horizon, &ParallelConfig::default())
+    }
+
+    /// [`Self::run`] with an explicit thread-count policy.
+    ///
+    /// A meeting is two *awake* agents hopping on the same channel in the
+    /// same slot. Agents whose sets do not overlap are ignored (they can
+    /// never meet).
+    ///
+    /// Single-threaded, the engine advances in shared blocks (the
+    /// block-fill/pair-major scan described on `run_sequential` in the
+    /// source); with more threads the overlapping pairs
+    /// are sharded into chunked tasks on the work-stealing orchestrator
+    /// ([`pool::run_indexed`]), each pair resolved by an independent
+    /// two-agent block scan over the shared read-only schedules. Both
+    /// paths compute the exact per-pair first-meeting slot, so the report
+    /// is identical regardless of `cfg`.
+    pub fn run_with(&self, horizon: u64, cfg: &ParallelConfig) -> MeetingReport {
+        let pending = self.overlapping_pairs();
+        // Pairs per orchestrator task: small enough to steal, large enough
+        // to amortize task bookkeeping over several block scans.
+        const PAIRS_PER_TASK: usize = 4;
+        let tasks: Vec<&[(usize, usize)]> = pending.chunks(PAIRS_PER_TASK.max(1)).collect();
+        if cfg.effective_threads(tasks.len()) <= 1 {
+            return self.run_sequential(horizon, pending);
+        }
+        let meetings: Vec<Vec<Option<u64>>> = pool::run_indexed(tasks, cfg, |_idx, chunk| {
+            chunk
+                .iter()
+                .map(|&(i, j)| self.pair_first_meeting(i, j, horizon))
+                .collect()
+        });
+        let mut first_meeting = HashMap::new();
+        let mut missed = Vec::new();
+        for (&(i, j), met) in pending.iter().zip(meetings.iter().flatten()) {
+            match met {
+                Some(t) => {
+                    first_meeting.insert((i, j), *t);
+                }
+                None => missed.push((i, j)),
+            }
+        }
+        MeetingReport {
+            first_meeting,
+            missed,
+            horizon,
+        }
+    }
+
+    /// First absolute slot at which agents `i` and `j` are both awake and
+    /// on the same channel — an independent two-agent block scan, the unit
+    /// of parallelism of [`Self::run_with`].
+    fn pair_first_meeting(&self, i: usize, j: usize, horizon: u64) -> Option<u64> {
+        const BLOCK: usize = 512;
+        let (ai, aj) = (&self.agents[i], &self.agents[j]);
+        let start = ai.wake.max(aj.wake);
+        if start >= horizon {
+            return None;
+        }
+        let mut bufi = [0u64; BLOCK];
+        let mut bufj = [0u64; BLOCK];
+        let mut t = start;
+        while t < horizon {
+            let len = (horizon - t).min(BLOCK as u64) as usize;
+            ai.schedule.fill_channels(t - ai.wake, &mut bufi[..len]);
+            aj.schedule.fill_channels(t - aj.wake, &mut bufj[..len]);
+            for x in 0..len {
+                if bufi[x] == bufj[x] {
+                    return Some(t + x as u64);
+                }
+            }
+            t += len as u64;
+        }
+        None
+    }
+
+    /// The single-threaded engine: advances in blocks, filling each
+    /// *agent's* channels once per block through the bulk
+    /// [`fill_channels`](rdv_core::schedule::Schedule::fill_channels)
+    /// kernel into a flat per-agent buffer (`0` marks not-yet-awake slots —
+    /// channels are 1-indexed, so the sentinel is unambiguous), then
+    /// resolving each pending pair by a pair-major scan over the two
+    /// buffers. This replaces the former per-slot `HashMap<channel,
+    /// Vec<agent>>` grouping and its linear membership probes, and shares
+    /// each agent's fill across all of its pairs (the dense-population
+    /// advantage the per-pair parallel scan trades away).
+    fn run_sequential(&self, horizon: u64, mut pending: Vec<(usize, usize)>) -> MeetingReport {
+        const BLOCK: usize = 512;
+        let n = self.agents.len();
         let mut first_meeting = HashMap::new();
         // How many pending pairs each agent participates in — agents at
         // zero (disjoint sets, or all their pairs already met) skip the
@@ -239,6 +323,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_exactly() {
+        // Mixed algorithms, staggered wakes, a horizon off the block
+        // boundary: every thread count must produce the identical report.
+        let sets: [&[u64]; 5] = [&[1, 2, 9], &[2, 5], &[5, 9, 11], &[1, 11], &[3, 4]];
+        let algos = [
+            Algorithm::Ours,
+            Algorithm::Crseq,
+            Algorithm::Drds,
+            Algorithm::Ours,
+            Algorithm::Random,
+        ];
+        let agents: Vec<Agent> = sets
+            .iter()
+            .zip(algos)
+            .enumerate()
+            .map(|(i, (s, algo))| agent(algo, 12, s, (i as u64) * 271, i as u64))
+            .collect();
+        let sim = Simulation::new(agents);
+        let horizon = 3_333u64;
+        let sequential = sim.run_with(horizon, &crate::pool::ParallelConfig::with_threads(1));
+        for threads in [2usize, 4, 8] {
+            let parallel =
+                sim.run_with(horizon, &crate::pool::ParallelConfig::with_threads(threads));
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+        assert_eq!(sequential, sim.run(horizon));
     }
 
     #[test]

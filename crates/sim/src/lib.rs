@@ -9,8 +9,11 @@
 //!   universe), symmetric.
 //! * [`engine`] — the multi-agent slot-by-slot simulator with wake times
 //!   and first-meeting detection.
+//! * [`pool`] — the work-stealing parallel orchestrator: deterministic
+//!   task-indexed sharding over the vendored crossbeam deques, with
+//!   bit-identical results at every thread count.
 //! * [`sweep`] — pairwise worst/mean time-to-rendezvous sweeps over shifts
-//!   and seeds, parallelized with crossbeam.
+//!   and seeds, sharded onto [`pool`].
 //! * [`stats`] — means, percentiles, and the log-log growth-exponent fits
 //!   used to check the paper's asymptotic claims empirically.
 
@@ -19,6 +22,7 @@
 
 pub mod algo;
 pub mod engine;
+pub mod pool;
 pub mod spectrum;
 pub mod stats;
 pub mod sweep;
@@ -26,4 +30,5 @@ pub mod workload;
 
 pub use algo::Algorithm;
 pub use engine::{MeetingReport, Simulation};
-pub use sweep::{sweep_pair_ttr, PairSweep, SweepConfig};
+pub use pool::ParallelConfig;
+pub use sweep::{sweep_pair_ttr, PairSweep, SweepConfig, SweepError};

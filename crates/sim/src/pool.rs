@@ -1,0 +1,246 @@
+//! The work-stealing parallel orchestrator behind every sweep in the
+//! workspace.
+//!
+//! Sweeps are embarrassingly parallel — a `(shift × seed)` or pair grid of
+//! independent kernel evaluations over shared read-only schedule tables —
+//! but their per-task cost is wildly uneven (a rendezvous can take 2 slots
+//! or 2 million, depending on the shift). Static chunking therefore leaves
+//! cores idle behind the unluckiest chunk. This module shards a task list
+//! into an injector queue plus per-worker deques (the vendored
+//! [`crossbeam::deque`] stand-in) and lets idle workers steal, so the
+//! longest task — not the longest *chunk* — bounds the critical path.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical across thread counts** by construction:
+//!
+//! * every task carries its grid index, and results are merged back in
+//!   index order, so downstream consumers never observe scheduling order;
+//! * tasks never share mutable state — schedules are compiled once before
+//!   the fan-out and shared read-only (see
+//!   [`rdv_core::compiled::PreparedSchedule`]);
+//! * randomized tasks derive their RNG stream from [`stream_seed`], a
+//!   SplitMix64 mix of the experiment seed and the task index — a pure
+//!   function of *which* task, never of *where* or *when* it ran.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+/// Thread-count policy for the parallel orchestrator.
+///
+/// The default (`threads: 0`) auto-detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelConfig {
+    /// Worker threads to use. `0` means auto-detect
+    /// ([`std::thread::available_parallelism`]).
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// A fixed thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig { threads }
+    }
+
+    /// The worker count to actually spawn for `tasks` tasks: the requested
+    /// (or detected) thread count, never more than the number of tasks,
+    /// never zero.
+    pub fn effective_threads(&self, tasks: usize) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(4)
+        } else {
+            self.threads
+        };
+        requested.min(tasks).max(1)
+    }
+}
+
+/// Derives the RNG stream seed of task `task_index` within experiment
+/// `base` — the SplitMix64 finalizer over the pair, as recommended for
+/// splitting one seed into independent streams.
+///
+/// The map is bijective in `task_index` for a fixed `base` (every step is
+/// invertible), so distinct tasks of one experiment can never collide; the
+/// avalanche mixing keeps streams of adjacent indices statistically
+/// independent. `tests/parallel_determinism.rs` property-tests both claims.
+pub fn stream_seed(base: u64, task_index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(task_index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `f` over every `(index, task)` on a work-stealing thread pool and
+/// returns the results **in task order**, regardless of thread count or
+/// scheduling.
+///
+/// `f` must be a pure function of its arguments (plus shared read-only
+/// captures) for the cross-thread-count determinism guarantee to hold —
+/// which every sweep satisfies by deriving randomness via [`stream_seed`].
+///
+/// Single-task and single-thread calls run inline on the caller's thread
+/// (no spawn overhead), making `threads = 1` the literal sequential
+/// semantics the parallel runs are tested against.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the task panic propagates).
+pub fn run_indexed<T, R, F>(tasks: Vec<T>, cfg: &ParallelConfig, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n_tasks = tasks.len();
+    let threads = cfg.effective_threads(n_tasks);
+    if threads <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let injector = Injector::new();
+    for task in tasks.into_iter().enumerate() {
+        injector.push(task);
+    }
+    let workers: Vec<Worker<(usize, T)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, T)>> = workers.iter().map(Worker::stealer).collect();
+
+    let mut indexed: Vec<(usize, R)> = crossbeam::scope(|scope| {
+        let injector = &injector;
+        let stealers = &stealers;
+        let f = &f;
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(me, worker)| {
+                scope.spawn(move |_| {
+                    let mut out: Vec<(usize, R)> = Vec::with_capacity(n_tasks / threads + 1);
+                    loop {
+                        let task = worker.pop().or_else(|| {
+                            // Local deque dry: refill from the injector,
+                            // then rob a sibling, retrying lost races.
+                            'find: loop {
+                                match injector.steal_batch_and_pop(&worker) {
+                                    Steal::Success(t) => break 'find Some(t),
+                                    Steal::Retry => continue 'find,
+                                    Steal::Empty => {}
+                                }
+                                let mut retry = false;
+                                for (other, stealer) in stealers.iter().enumerate() {
+                                    if other == me {
+                                        continue;
+                                    }
+                                    match stealer.steal() {
+                                        Steal::Success(t) => break 'find Some(t),
+                                        Steal::Retry => retry = true,
+                                        Steal::Empty => {}
+                                    }
+                                }
+                                if !retry {
+                                    break 'find None;
+                                }
+                            }
+                        });
+                        match task {
+                            Some((i, t)) => out.push((i, f(i, t))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    debug_assert_eq!(indexed.len(), n_tasks, "orchestrator lost tasks");
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1usize, 2, 8] {
+            let tasks: Vec<u64> = (0..257).collect();
+            let out = run_indexed(
+                tasks.clone(),
+                &ParallelConfig::with_threads(threads),
+                |i, t| {
+                    assert_eq!(i as u64, t);
+                    t * t
+                },
+            );
+            let expected: Vec<u64> = tasks.iter().map(|t| t * t).collect();
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_indexed(
+            vec![(); 1000],
+            &ParallelConfig::with_threads(4),
+            |_i, ()| counter.fetch_add(1, Ordering::Relaxed),
+        );
+        assert_eq!(out.len(), 1000);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn uneven_tasks_balance_across_workers() {
+        // One task 1000× heavier than the rest: stealing must still finish
+        // everything and keep order.
+        let weights: Vec<u64> = (0..64)
+            .map(|i| if i == 0 { 100_000 } else { 100 })
+            .collect();
+        let out = run_indexed(weights.clone(), &ParallelConfig::with_threads(4), |_, w| {
+            (0..w).map(std::hint::black_box).sum::<u64>()
+        });
+        for (w, got) in weights.iter().zip(&out) {
+            assert_eq!(*got, w * (w - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_task_edge_cases() {
+        let empty: Vec<u64> = run_indexed(vec![], &ParallelConfig::default(), |_, t: u64| t);
+        assert!(empty.is_empty());
+        let one = run_indexed(vec![7u64], &ParallelConfig::with_threads(8), |i, t| {
+            t + i as u64
+        });
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(ParallelConfig::with_threads(8).effective_threads(3), 3);
+        assert_eq!(ParallelConfig::with_threads(2).effective_threads(100), 2);
+        assert_eq!(ParallelConfig::with_threads(5).effective_threads(0), 1);
+        assert!(ParallelConfig::default().effective_threads(100) >= 1);
+    }
+
+    #[test]
+    fn stream_seeds_are_collision_free_per_base() {
+        for base in [0u64, 1, 42, u64::MAX] {
+            let seeds: HashSet<u64> = (0..4096).map(|i| stream_seed(base, i)).collect();
+            assert_eq!(seeds.len(), 4096, "collision under base {base}");
+        }
+    }
+}

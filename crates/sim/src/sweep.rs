@@ -1,12 +1,30 @@
 //! Pairwise time-to-rendezvous sweeps — the engine behind the Table 1 and
 //! scaling experiments.
+//!
+//! The `(shift × seed)` sample grid is sharded into chunked tasks and run
+//! on the work-stealing orchestrator ([`crate::pool`]): schedules are
+//! built and compiled **once** before the fan-out
+//! ([`PreparedSchedule`]), shared read-only across workers, and every
+//! sample's randomness derives from its grid position
+//! ([`pool::stream_seed`]) — so a sweep's result is bit-identical at 1, 2,
+//! or N threads (asserted by `tests/parallel_determinism.rs`).
 
 use crate::algo::{AgentCtx, Algorithm, DynSchedule};
+use crate::pool::{self, ParallelConfig};
 use crate::stats::Summary;
 use crate::workload::PairScenario;
-use rdv_core::compiled::CompiledSchedule;
+use rdv_core::channel::ChannelSetError;
+use rdv_core::compiled::PreparedSchedule;
 use rdv_core::verify;
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::fmt;
+use std::ops::Range;
+
+/// Samples per orchestrator task. Small enough that a 1024-shift sweep
+/// produces dozens of stealable tasks, large enough to amortize queue
+/// traffic against thousands of kernel slots per sample.
+const SAMPLES_PER_TASK: usize = 64;
 
 /// Sweep parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,6 +44,9 @@ pub struct SweepConfig {
     pub seeds: u64,
     /// Simulation cut-off override (0 = use the algorithm default).
     pub horizon_override: u64,
+    /// Worker threads for the parallel orchestrator (0 = auto-detect).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -36,7 +57,60 @@ impl Default for SweepConfig {
             spread_over_period: true,
             seeds: 8,
             horizon_override: 0,
+            threads: 0,
         }
+    }
+}
+
+/// Why a sweep could not produce a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepError {
+    /// A channel set failed validation (empty, zero channel, duplicate).
+    InvalidSet(ChannelSetError),
+    /// The two channel sets share no channel — rendezvous is impossible,
+    /// and sweeping the full horizon for every shift would only burn time
+    /// proving it.
+    DisjointSets,
+    /// The algorithm cannot be instantiated on the scenario (e.g. a set
+    /// exceeding the universe `[n]`).
+    Unsupported {
+        /// The algorithm that refused.
+        algorithm: Algorithm,
+        /// The universe size it was asked for.
+        n: u64,
+    },
+    /// Every `(shift, seed)` sample missed the horizon.
+    NoSamples {
+        /// How many samples failed.
+        failures: usize,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::InvalidSet(e) => write!(f, "invalid channel set: {e}"),
+            SweepError::DisjointSets => {
+                write!(f, "channel sets are disjoint; rendezvous is impossible")
+            }
+            SweepError::Unsupported { algorithm, n } => {
+                write!(
+                    f,
+                    "{algorithm} cannot be instantiated on this scenario at n={n}"
+                )
+            }
+            SweepError::NoSamples { failures } => {
+                write!(f, "all {failures} samples missed the horizon")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<ChannelSetError> for SweepError {
+    fn from(e: ChannelSetError) -> Self {
+        SweepError::InvalidSet(e)
     }
 }
 
@@ -59,35 +133,43 @@ pub struct PairSweep {
     pub horizon: u64,
 }
 
-/// A schedule readied for repeated sweep evaluation: compiled to a flat
-/// one-period table when the period fits the [`CompiledSchedule`] cap,
-/// otherwise kept as the boxed schedule and evaluated through the chunked
-/// block kernel.
-enum Prepared {
-    Table(CompiledSchedule),
-    Dyn(DynSchedule),
-}
-
-impl Prepared {
-    fn new(schedule: DynSchedule) -> Self {
-        match CompiledSchedule::compile(&schedule) {
-            Some(c) => Prepared::Table(c),
-            None => Prepared::Dyn(schedule),
-        }
+impl PairSweep {
+    /// The sweep as a JSON object — the repro pipeline's artifact row, and
+    /// the witness the cross-thread-count determinism tests compare
+    /// byte-for-byte.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("algorithm", Value::from(self.algorithm.to_string())),
+            ("n", Value::from(self.n)),
+            ("k", Value::from(self.k)),
+            ("ell", Value::from(self.ell)),
+            ("count", Value::from(self.summary.count)),
+            ("max", Value::from(self.summary.max)),
+            ("mean", Value::from(self.summary.mean)),
+            ("p50", Value::from(self.summary.p50)),
+            ("p95", Value::from(self.summary.p95)),
+            ("failures", Value::from(self.failures)),
+            ("horizon", Value::from(self.horizon)),
+        ])
     }
 }
 
-/// [`verify::async_ttr`] over prepared schedules, using the slice kernel
-/// when both sides are compiled.
-fn prepared_async_ttr(a: &Prepared, b: &Prepared, shift: u64, horizon: u64) -> Option<u64> {
-    match (a, b) {
-        (Prepared::Table(ca), Prepared::Table(cb)) => {
-            verify::async_ttr_tables(ca.table(), cb.table(), shift, horizon)
-        }
-        (Prepared::Table(ca), Prepared::Dyn(b)) => verify::async_ttr(ca, b, shift, horizon),
-        (Prepared::Dyn(a), Prepared::Table(cb)) => verify::async_ttr(a, cb, shift, horizon),
-        (Prepared::Dyn(a), Prepared::Dyn(b)) => verify::async_ttr(a, b, shift, horizon),
-    }
+/// The deterministic per-seed agent contexts: RNG streams derive from the
+/// seed's grid index via [`pool::stream_seed`], never from thread identity
+/// or execution order.
+fn seed_ctxs(seed: u64, wake_b: u64) -> (AgentCtx, AgentCtx) {
+    (
+        AgentCtx {
+            wake: 0,
+            agent_seed: pool::stream_seed(seed, 0),
+            shared_seed: seed,
+        },
+        AgentCtx {
+            wake: wake_b,
+            agent_seed: pool::stream_seed(seed, 1),
+            shared_seed: seed,
+        },
+    )
 }
 
 /// Measures times-to-rendezvous for one algorithm on one scenario across
@@ -98,22 +180,30 @@ fn prepared_async_ttr(a: &Prepared, b: &Prepared, shift: u64, horizon: u64) -> O
 /// count within their guarantee horizon indicates a bug and is asserted
 /// against throughout the test suite.
 ///
-/// Schedule construction is hoisted out of the `(shift × seed)` loop: for
+/// Schedule construction is hoisted out of the `(shift × seed)` grid: for
 /// every algorithm whose schedule does not depend on the wake slot
 /// ([`Algorithm::wake_sensitive`] is false — all but the beacon protocols)
 /// both schedules are built **once per seed**, compiled to period tables
-/// when small enough, and shared read-only across the worker threads. The
-/// beacon protocols, whose schedules listen to a globally-timed stream,
-/// keep the per-(shift, seed) construction.
+/// when small enough, and shared read-only across the work-stealing
+/// workers. The beacon protocols, whose schedules listen to a
+/// globally-timed stream, keep the per-(shift, seed) construction (inside
+/// the workers, so it parallelizes too).
 ///
-/// Returns `None` if the algorithm cannot be instantiated on the scenario
-/// or every sample failed.
+/// # Errors
+///
+/// * [`SweepError::DisjointSets`] — the scenario's sets cannot rendezvous;
+/// * [`SweepError::Unsupported`] — the algorithm refuses the scenario
+///   (e.g. a channel exceeding the universe);
+/// * [`SweepError::NoSamples`] — every sample missed the horizon.
 pub fn sweep_pair_ttr(
     algorithm: Algorithm,
     n: u64,
     scenario: &PairScenario,
     cfg: &SweepConfig,
-) -> Option<PairSweep> {
+) -> Result<PairSweep, SweepError> {
+    if !scenario.a.overlaps(&scenario.b) {
+        return Err(SweepError::DisjointSets);
+    }
     let k = scenario.a.len();
     let ell = scenario.b.len();
     let horizon = if cfg.horizon_override > 0 {
@@ -126,8 +216,15 @@ pub fn sweep_pair_ttr(
     } else {
         cfg.seeds.max(1)
     };
-    let mut samples = Vec::new();
-    let mut failures = 0usize;
+
+    // Probe instantiation once up front so an impossible scenario is a
+    // typed error instead of `shifts × seeds` silent failures.
+    let (probe_a, probe_b) = seed_ctxs(0, 0);
+    if algorithm.make(n, &scenario.a, &probe_a).is_none()
+        || algorithm.make(n, &scenario.b, &probe_b).is_none()
+    {
+        return Err(SweepError::Unsupported { algorithm, n });
+    }
 
     let stride = if cfg.spread_over_period {
         // Probe one schedule for its period and spread shifts across it,
@@ -141,39 +238,26 @@ pub fn sweep_pair_ttr(
         cfg.shift_stride.max(1)
     };
     let shift_jobs: Vec<u64> = (0..cfg.shifts).map(|i| i * stride).collect();
-    let threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(4)
-        .min(shift_jobs.len().max(1));
-    let chunks: Vec<&[u64]> = shift_jobs
-        .chunks(shift_jobs.len().div_ceil(threads))
-        .collect();
 
     // Build (and compile) once per seed for wake-insensitive algorithms;
     // `None` marks a seed whose schedules could not be instantiated, which
     // the workers count as one failure per swept shift (matching the old
     // per-sample accounting).
-    let prepared: Option<Vec<Option<(Prepared, Prepared)>>> = if algorithm.wake_sensitive() {
+    type PreparedPair = Option<(PreparedSchedule<DynSchedule>, PreparedSchedule<DynSchedule>)>;
+    let prepared: Option<Vec<PreparedPair>> = if algorithm.wake_sensitive() {
         None
     } else {
         Some(
             (0..seeds)
                 .map(|seed| {
-                    let ctx_a = AgentCtx {
-                        wake: 0,
-                        agent_seed: seed.wrapping_mul(2),
-                        shared_seed: seed,
-                    };
-                    let ctx_b = AgentCtx {
-                        wake: 0,
-                        agent_seed: seed.wrapping_mul(2) + 1,
-                        shared_seed: seed,
-                    };
+                    let (ctx_a, ctx_b) = seed_ctxs(seed, 0);
                     match (
                         algorithm.make(n, &scenario.a, &ctx_a),
                         algorithm.make(n, &scenario.b, &ctx_b),
                     ) {
-                        (Some(sa), Some(sb)) => Some((Prepared::new(sa), Prepared::new(sb))),
+                        (Some(sa), Some(sb)) => {
+                            Some((PreparedSchedule::new(sa), PreparedSchedule::new(sb)))
+                        }
                         _ => None,
                     }
                 })
@@ -181,67 +265,63 @@ pub fn sweep_pair_ttr(
         )
     };
 
-    let results: Vec<(Vec<u64>, usize)> = crossbeam::scope(|scope| {
-        let prepared = &prepared;
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    let mut local = Vec::new();
-                    let mut local_failures = 0usize;
-                    for &shift in *chunk {
-                        for seed in 0..seeds {
-                            let outcome = if let Some(prepared) = prepared {
-                                match &prepared[seed as usize] {
-                                    Some((sa, sb)) => prepared_async_ttr(sa, sb, shift, horizon),
-                                    None => {
-                                        local_failures += 1;
-                                        continue;
-                                    }
-                                }
-                            } else {
-                                let ctx_a = AgentCtx {
-                                    wake: 0,
-                                    agent_seed: seed.wrapping_mul(2),
-                                    shared_seed: seed,
-                                };
-                                let ctx_b = AgentCtx {
-                                    wake: shift,
-                                    agent_seed: seed.wrapping_mul(2) + 1,
-                                    shared_seed: seed,
-                                };
-                                let (Some(sa), Some(sb)) = (
-                                    algorithm.make(n, &scenario.a, &ctx_a),
-                                    algorithm.make(n, &scenario.b, &ctx_b),
-                                ) else {
-                                    local_failures += 1;
-                                    continue;
-                                };
-                                verify::async_ttr(&sa, &sb, shift, horizon)
-                            };
-                            match outcome {
-                                Some(ttr) => local.push(ttr),
-                                None => local_failures += 1,
-                            }
+    // Shard the flat sample grid (sample = shift-major, seed-minor) into
+    // chunked tasks for the work-stealing pool.
+    let total_samples = shift_jobs.len() * seeds as usize;
+    let tasks: Vec<Range<usize>> = (0..total_samples)
+        .step_by(SAMPLES_PER_TASK)
+        .map(|start| start..(start + SAMPLES_PER_TASK).min(total_samples))
+        .collect();
+
+    let prepared = &prepared;
+    let shift_jobs = &shift_jobs;
+    let results: Vec<(Vec<u64>, usize)> = pool::run_indexed(
+        tasks,
+        &ParallelConfig {
+            threads: cfg.threads,
+        },
+        |_task_idx, range| {
+            let mut local = Vec::with_capacity(range.len());
+            let mut local_failures = 0usize;
+            for sample in range {
+                let shift = shift_jobs[sample / seeds as usize];
+                let seed = (sample % seeds as usize) as u64;
+                let outcome = if let Some(prepared) = prepared {
+                    match &prepared[seed as usize] {
+                        Some((sa, sb)) => verify::async_ttr_prepared(sa, sb, shift, horizon),
+                        None => {
+                            local_failures += 1;
+                            continue;
                         }
                     }
-                    (local, local_failures)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker"))
-            .collect()
-    })
-    .expect("crossbeam scope");
+                } else {
+                    let (ctx_a, ctx_b) = seed_ctxs(seed, shift);
+                    let (Some(sa), Some(sb)) = (
+                        algorithm.make(n, &scenario.a, &ctx_a),
+                        algorithm.make(n, &scenario.b, &ctx_b),
+                    ) else {
+                        local_failures += 1;
+                        continue;
+                    };
+                    verify::async_ttr(&sa, &sb, shift, horizon)
+                };
+                match outcome {
+                    Some(ttr) => local.push(ttr),
+                    None => local_failures += 1,
+                }
+            }
+            (local, local_failures)
+        },
+    );
 
+    let mut samples = Vec::with_capacity(total_samples);
+    let mut failures = 0usize;
     for (local, f) in results {
         samples.extend(local);
         failures += f;
     }
-    let summary = Summary::of(&samples)?;
-    Some(PairSweep {
+    let summary = Summary::of(&samples).ok_or(SweepError::NoSamples { failures })?;
+    Ok(PairSweep {
         algorithm,
         n,
         k,
@@ -266,6 +346,7 @@ mod tests {
             spread_over_period: false,
             seeds: 1,
             horizon_override: 0,
+            threads: 0,
         };
         let sweep = sweep_pair_ttr(Algorithm::Ours, 16, &scenario, &cfg).unwrap();
         assert_eq!(sweep.failures, 0, "deterministic guarantee violated");
@@ -283,10 +364,11 @@ mod tests {
             spread_over_period: false,
             seeds: 1,
             horizon_override: 0,
+            threads: 0,
         };
         for algo in Algorithm::TABLE1 {
             let sweep = sweep_pair_ttr(algo, n, &scenario, &cfg)
-                .unwrap_or_else(|| panic!("{algo} produced no samples"));
+                .unwrap_or_else(|e| panic!("{algo} failed: {e}"));
             assert_eq!(sweep.failures, 0, "{algo} missed its horizon");
         }
     }
@@ -300,6 +382,7 @@ mod tests {
             spread_over_period: false,
             seeds: 5,
             horizon_override: 0,
+            threads: 0,
         };
         let sweep = sweep_pair_ttr(Algorithm::Random, 16, &scenario, &cfg).unwrap();
         assert_eq!(sweep.summary.count + sweep.failures, 4 * 5);
@@ -314,6 +397,7 @@ mod tests {
             spread_over_period: false,
             seeds: 1,
             horizon_override: 0,
+            threads: 0,
         };
         let sweep = sweep_pair_ttr(Algorithm::OursSymmetric, 32, &scenario, &cfg).unwrap();
         assert_eq!(sweep.failures, 0);
@@ -326,8 +410,8 @@ mod tests {
 
     #[test]
     fn hoisted_sweep_matches_per_shift_construction() {
-        // The hoisted/compiled sweep must reproduce exactly the samples the
-        // old per-(shift, seed) construction produced.
+        // The hoisted/compiled parallel sweep must reproduce exactly the
+        // samples a sequential per-(shift, seed) construction produces.
         let n = 16u64;
         let scenario = workload::adversarial_overlap_one(n, 3, 3).unwrap();
         let cfg = SweepConfig {
@@ -336,6 +420,7 @@ mod tests {
             spread_over_period: false,
             seeds: 3,
             horizon_override: 0,
+            threads: 0,
         };
         for algo in [
             Algorithm::Ours,
@@ -352,16 +437,7 @@ mod tests {
             let mut ref_failures = 0usize;
             for shift in (0..12u64).map(|i| i * 7) {
                 for seed in 0..seeds {
-                    let ctx_a = AgentCtx {
-                        wake: 0,
-                        agent_seed: seed * 2,
-                        shared_seed: seed,
-                    };
-                    let ctx_b = AgentCtx {
-                        wake: shift,
-                        agent_seed: seed * 2 + 1,
-                        shared_seed: seed,
-                    };
+                    let (ctx_a, ctx_b) = super::seed_ctxs(seed, shift);
                     let sa = algo.make(n, &scenario.a, &ctx_a).unwrap();
                     let sb = algo.make(n, &scenario.b, &ctx_b).unwrap();
                     match rdv_core::verify::naive::async_ttr(&sa, &sb, shift, horizon) {
@@ -391,11 +467,94 @@ mod tests {
             spread_over_period: false,
             seeds: 1,
             horizon_override: 5,
+            threads: 0,
         };
-        let sweep = sweep_pair_ttr(Algorithm::Ours, 8, &scenario, &cfg);
-        if let Some(s) = sweep {
+        if let Ok(s) = sweep_pair_ttr(Algorithm::Ours, 8, &scenario, &cfg) {
             assert_eq!(s.horizon, 5);
             assert!(s.summary.max < 5);
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_are_a_typed_error() {
+        let scenario = PairScenario {
+            a: rdv_core::channel::ChannelSet::new(vec![1, 2]).unwrap(),
+            b: rdv_core::channel::ChannelSet::new(vec![3, 4]).unwrap(),
+        };
+        let err = sweep_pair_ttr(Algorithm::Ours, 8, &scenario, &SweepConfig::default())
+            .expect_err("disjoint sets must not sweep");
+        assert_eq!(err, SweepError::DisjointSets);
+        assert!(err.to_string().contains("disjoint"));
+    }
+
+    #[test]
+    fn oversized_set_is_a_typed_error() {
+        // Channel 40 does not fit universe [8]: instantiation must fail
+        // with a typed error instead of sweeping into silent failures.
+        let scenario = PairScenario {
+            a: rdv_core::channel::ChannelSet::new(vec![1, 40]).unwrap(),
+            b: rdv_core::channel::ChannelSet::new(vec![1, 2]).unwrap(),
+        };
+        let err = sweep_pair_ttr(Algorithm::Ours, 8, &scenario, &SweepConfig::default())
+            .expect_err("oversized set must not sweep");
+        assert!(matches!(err, SweepError::Unsupported { n: 8, .. }), "{err}");
+    }
+
+    #[test]
+    fn no_samples_is_a_typed_error() {
+        // An overlapping pair with a horizon too short to ever meet: the
+        // paper's parity trap ({1,2} cyclic vs itself at odd shift) is
+        // overkill — a 1-slot horizon on a slow baseline suffices.
+        let scenario = workload::adversarial_overlap_one(8, 4, 4).unwrap();
+        let cfg = SweepConfig {
+            shifts: 3,
+            shift_stride: 1,
+            spread_over_period: false,
+            seeds: 1,
+            horizon_override: 1,
+            threads: 0,
+        };
+        match sweep_pair_ttr(Algorithm::Crseq, 8, &scenario, &cfg) {
+            Err(SweepError::NoSamples { failures }) => assert_eq!(failures, 3),
+            other => {
+                // A meeting at slot 0 for some shift is legitimate; then
+                // the sweep must report the remaining misses as failures.
+                let s = other.expect("either NoSamples or a partial sweep");
+                assert!(s.failures > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_json_is_stable_and_complete() {
+        let scenario = workload::adversarial_overlap_one(16, 3, 3).unwrap();
+        let cfg = SweepConfig {
+            shifts: 8,
+            shift_stride: 3,
+            spread_over_period: false,
+            seeds: 1,
+            horizon_override: 0,
+            threads: 0,
+        };
+        let sweep = sweep_pair_ttr(Algorithm::Ours, 16, &scenario, &cfg).unwrap();
+        let json = serde_json::to_string(&sweep.to_json());
+        for key in [
+            "algorithm",
+            "n",
+            "k",
+            "ell",
+            "count",
+            "max",
+            "mean",
+            "p50",
+            "p95",
+            "failures",
+            "horizon",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "missing {key}: {json}"
+            );
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Scenario generators.
 
+use crate::sweep::SweepError;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -12,6 +13,29 @@ pub struct PairScenario {
     pub a: ChannelSet,
     /// Second agent's set.
     pub b: ChannelSet,
+}
+
+impl PairScenario {
+    /// Validates two raw channel collections into a sweepable scenario.
+    ///
+    /// # Errors
+    ///
+    /// * [`SweepError::InvalidSet`] if either collection is empty, contains
+    ///   channel `0`, or contains duplicates;
+    /// * [`SweepError::DisjointSets`] if the validated sets share no
+    ///   channel (such a pair can never rendezvous, so sweeping it is
+    ///   always a caller bug).
+    pub fn try_new(
+        a: impl IntoIterator<Item = u64>,
+        b: impl IntoIterator<Item = u64>,
+    ) -> Result<Self, SweepError> {
+        let a = ChannelSet::new(a)?;
+        let b = ChannelSet::new(b)?;
+        if !a.overlaps(&b) {
+            return Err(SweepError::DisjointSets);
+        }
+        Ok(PairScenario { a, b })
+    }
 }
 
 /// The adversarial geometry of Theorem 7: `|A| = k`, `|B| = ℓ`,
@@ -172,5 +196,23 @@ mod tests {
         assert!(random_overlapping_pair(3, 5, 2, 0).is_none());
         assert!(coalition_pair(10, 3, 4, 0).is_none());
         assert!(coalition_pair(10, 3, 0, 0).is_none());
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        use rdv_core::channel::ChannelSetError;
+        assert!(PairScenario::try_new(vec![1, 2], vec![2, 3]).is_ok());
+        assert_eq!(
+            PairScenario::try_new(vec![], vec![1]),
+            Err(SweepError::InvalidSet(ChannelSetError::Empty))
+        );
+        assert_eq!(
+            PairScenario::try_new(vec![1, 0], vec![1]),
+            Err(SweepError::InvalidSet(ChannelSetError::ZeroChannel))
+        );
+        assert_eq!(
+            PairScenario::try_new(vec![1, 2], vec![3, 4]),
+            Err(SweepError::DisjointSets)
+        );
     }
 }

@@ -3,8 +3,14 @@
 //! track the measurement engine's perf trajectory.
 //!
 //! ```text
-//! cargo run --release --bin bench_report [output-path]
+//! cargo run --release --bin bench_report [output-path] \
+//!     [--baseline BENCH_kernel.json] [--max-regression-pct 30]
 //! ```
+//!
+//! With `--baseline`, the freshly measured block-kernel throughput is
+//! diffed per scenario against the committed baseline and the process
+//! exits non-zero on a regression beyond the tolerance (default 30%,
+//! chosen to ride out shared-runner noise) — the CI perf gate.
 //!
 //! The workload is the worst-case exhaustive shift sweep
 //! (`verify::worst_async_ttr_exhaustive`) on the adversarial overlap-one
@@ -80,9 +86,91 @@ fn measure(n: u64) -> Cell {
     }
 }
 
+/// Per-n block-kernel throughputs of a report file.
+fn baseline_throughputs(path: &str) -> Vec<(u64, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let doc = serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+    doc.get("scenarios")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("{path}: no scenarios array"))
+        .iter()
+        .map(|s| {
+            let n = s.get("n").and_then(Value::as_u64).expect("scenario n");
+            let rate = s
+                .get("block_slots_per_sec")
+                .and_then(Value::as_f64)
+                .expect("scenario block_slots_per_sec");
+            (n, rate)
+        })
+        .collect()
+}
+
+/// Diffs fresh cells against a baseline report; returns the regressions
+/// beyond `max_regression_pct`.
+fn diff_against_baseline(
+    cells: &[Cell],
+    baseline: &[(u64, f64)],
+    max_regression_pct: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    println!();
+    println!(
+        "{:<8}{:>16}{:>16}{:>10}",
+        "n", "baseline sl/s", "current sl/s", "delta"
+    );
+    for cell in cells {
+        let Some(&(_, base)) = baseline.iter().find(|&&(n, _)| n == cell.n) else {
+            println!(
+                "{:<8}{:>16}{:>16.0}{:>10}",
+                cell.n, "-", cell.block_slots_per_sec, "new"
+            );
+            continue;
+        };
+        let delta_pct = (cell.block_slots_per_sec / base - 1.0) * 100.0;
+        println!(
+            "{:<8}{:>16.0}{:>16.0}{:>9.1}%",
+            cell.n, base, cell.block_slots_per_sec, delta_pct
+        );
+        if delta_pct < -max_regression_pct {
+            regressions.push(format!(
+                "n={}: block kernel {:.0} slots/s vs baseline {:.0} ({:+.1}%, tolerance -{}%)",
+                cell.n, cell.block_slots_per_sec, base, delta_pct, max_regression_pct
+            ));
+        }
+    }
+    regressions
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // A present flag with a missing (or flag-shaped) value is a hard error:
+    // silently ignoring it would turn the CI perf gate into a no-op.
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => panic!("{name} requires a value"),
+            })
+    };
+    let baseline_path = flag_value("--baseline");
+    let max_regression_pct: f64 = flag_value("--max-regression-pct")
+        .map(|v| v.parse().expect("--max-regression-pct takes a number"))
+        .unwrap_or(30.0);
+    let mut skip_next = false;
+    let out_path = args
+        .iter()
+        .find(|a| {
+            if std::mem::take(&mut skip_next) {
+                return false;
+            }
+            if *a == "--baseline" || *a == "--max-regression-pct" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .cloned()
         .unwrap_or_else(|| "BENCH_kernel.json".to_string());
     let mut cells = Vec::new();
     for n in [16u64, 64, 256] {
@@ -121,4 +209,17 @@ fn main() {
     std::fs::write(&out_path, serde_json::to_string_pretty(&report) + "\n")
         .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path}");
+
+    if let Some(baseline_path) = baseline_path {
+        let baseline = baseline_throughputs(&baseline_path);
+        let regressions = diff_against_baseline(&cells, &baseline, max_regression_pct);
+        if regressions.is_empty() {
+            println!("perf gate: within {max_regression_pct}% of {baseline_path}");
+        } else {
+            for r in &regressions {
+                eprintln!("PERF REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

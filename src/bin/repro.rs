@@ -1,9 +1,14 @@
-//! The experiment driver: regenerates every table and figure of the paper.
+//! The experiment driver: regenerates every table and figure of the paper,
+//! plus the one-command machine-readable reproduction pipeline.
 //!
 //! ```text
-//! repro [--quick] <experiment>
+//! repro [--quick | --smoke] [--out-dir DIR] <experiment>
 //!
 //! experiments:
+//!   table1         E0  the reproduction pipeline: all eight algorithms ×
+//!                      sync/async × symmetric/asymmetric, measured against
+//!                      the Theorems 3–5 bounds; writes REPRO_table1.json
+//!                      and REPRO_table1.md, exits non-zero on a violation
 //!   table1-asym    E1  Table 1, asymmetric column (TTR vs n, fitted exponents)
 //!   table1-sym     E2  Table 1, symmetric column
 //!   thm3-scaling   E3  O(|A||B| log log n) headline scaling
@@ -15,27 +20,61 @@
 //!   beacon         E11/E12  one-bit beacon protocols A and B
 //!   sdp            E13 one-round 0.439-approximation
 //!   all            everything, in order
+//!
+//! tiers:
+//!   (default)      full paper-scale grids
+//!   --quick        smaller grids, same shapes
+//!   --smoke        minutes-scale CI tier: smallest grids that still cross
+//!                  every algorithm × timing × scenario cell
 //! ```
 
 use blind_rendezvous::prelude::*;
 use rdv_core::channel::ChannelSet;
+use rdv_core::symmetric::SymmetricWrapped;
 use rdv_lower::{density, exact, pigeonhole};
 use rdv_sdp::{exact_max_in_pairs, random_orientation_value, solve, OrientGraph, SdpConfig};
 use rdv_sim::stats::growth_exponent;
-use rdv_sim::sweep::{sweep_pair_ttr, SweepConfig};
-use rdv_sim::{workload, Algorithm};
+use rdv_sim::sweep::{sweep_pair_ttr, PairSweep, SweepConfig};
+use rdv_sim::workload::PairScenario;
+use rdv_sim::{workload, Algorithm, ParallelConfig};
 use rdv_strings::{rmap::RCode, Bits};
+use serde_json::Value;
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let tier = if args.iter().any(|a| a == "--smoke") {
+        Tier::Smoke
+    } else if args.iter().any(|a| a == "--quick") {
+        Tier::Quick
+    } else {
+        Tier::Full
+    };
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut skip_next = false;
     let cmd = args
         .iter()
-        .find(|a| !a.starts_with("--"))
+        .find(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out-dir" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(String::as_str)
         .unwrap_or("all");
-    let ctx = Ctx { quick };
+    let ctx = Ctx { tier, out_dir };
     match cmd {
+        "table1" => table1_pipeline(&ctx),
         "table1-asym" => table1_asym(&ctx),
         "table1-sym" => table1_sym(&ctx),
         "thm3-scaling" => thm3_scaling(&ctx),
@@ -47,6 +86,7 @@ fn main() {
         "beacon" => beacon(&ctx),
         "sdp" => sdp_experiment(&ctx),
         "all" => {
+            table1_pipeline(&ctx);
             table1_asym(&ctx);
             table1_sym(&ctx);
             thm3_scaling(&ctx);
@@ -65,8 +105,25 @@ fn main() {
     }
 }
 
+/// Experiment size tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Full,
+    Quick,
+    Smoke,
+}
+
 struct Ctx {
-    quick: bool,
+    tier: Tier,
+    out_dir: PathBuf,
+}
+
+impl Ctx {
+    /// Whether the classic experiments should use their reduced grids
+    /// (both `--quick` and `--smoke` do).
+    fn quick(&self) -> bool {
+        self.tier != Tier::Full
+    }
 }
 
 fn header(title: &str) {
@@ -75,21 +132,288 @@ fn header(title: &str) {
     println!();
 }
 
+/// Every algorithm the pipeline reproduces — the Table 1 rows plus the
+/// randomized strawman and the two beacon protocols.
+const PIPELINE_ALGOS: [Algorithm; 8] = [
+    Algorithm::Ours,
+    Algorithm::OursSymmetric,
+    Algorithm::Crseq,
+    Algorithm::JumpStay,
+    Algorithm::Drds,
+    Algorithm::Random,
+    Algorithm::BeaconA,
+    Algorithm::BeaconB,
+];
+
+/// The bound a pipeline cell is measured against: the slot count, a label
+/// for the artifact, and whether the row is *gated* (a proven bound whose
+/// violation fails the pipeline) or merely recorded.
+fn cell_bound(algo: Algorithm, n: u64, scenario: &PairScenario) -> (u64, &'static str, bool) {
+    let (k, ell) = (scenario.a.len(), scenario.b.len());
+    match algo {
+        Algorithm::Ours => {
+            let s = GeneralSchedule::asynchronous(n, scenario.a.clone()).expect("valid scenario");
+            (s.ttr_bound(ell), "Theorem 3: O(|A||B| log log n)", true)
+        }
+        Algorithm::OursSymmetric => {
+            if scenario.a == scenario.b {
+                (
+                    SymmetricWrapped::<GeneralSchedule>::SYMMETRIC_TTR_BOUND,
+                    "§3.2: O(1) symmetric",
+                    true,
+                )
+            } else {
+                let base =
+                    GeneralSchedule::asynchronous(n, scenario.a.clone()).expect("valid scenario");
+                (
+                    rdv_core::symmetric::BLOWUP * base.ttr_bound(ell)
+                        + 2 * rdv_core::symmetric::BLOWUP,
+                    "§3.2 wrap: 12× Theorem 3 + O(1)",
+                    true,
+                )
+            }
+        }
+        // The baseline reconstructions are faithful in period structure but
+        // their paywalled proofs could not be transcribed (see
+        // rdv-baselines); their generous guarantee horizons are recorded and
+        // *reported* against, not gated.
+        Algorithm::Crseq | Algorithm::JumpStay | Algorithm::Drds => (
+            algo.horizon(n, k, ell),
+            "guarantee horizon (reconstruction, empirical)",
+            false,
+        ),
+        Algorithm::Random | Algorithm::BeaconA | Algorithm::BeaconB => {
+            (algo.horizon(n, k, ell), "w.h.p. horizon (not gated)", false)
+        }
+    }
+}
+
+/// One pipeline row as JSON: the sweep's own fields plus the cell context.
+fn row_json(
+    sweep: &PairSweep,
+    timing: &str,
+    kind: &str,
+    bound: u64,
+    bound_kind: &str,
+    gated: bool,
+    ok: bool,
+) -> Value {
+    let Value::Object(mut m) = sweep.to_json() else {
+        unreachable!("PairSweep::to_json returns an object");
+    };
+    m.insert("timing".to_string(), Value::from(timing));
+    m.insert("scenario".to_string(), Value::from(kind));
+    m.insert("bound".to_string(), Value::from(bound));
+    m.insert("bound_kind".to_string(), Value::from(bound_kind));
+    m.insert("gated".to_string(), Value::from(gated));
+    m.insert("bound_ok".to_string(), Value::from(ok));
+    Value::Object(m)
+}
+
+/// E0 — the one-command reproduction pipeline: all eight algorithms ×
+/// sync/async × symmetric/asymmetric across a universe-size ladder, every
+/// cell swept on the work-stealing orchestrator, measured worst cases
+/// checked against the Theorem 3 / §3.2 bounds, and the whole grid written
+/// to `REPRO_table1.json` + `REPRO_table1.md`.
+///
+/// Exits non-zero if any *gated* cell (a cell with a proven bound) missed
+/// its horizon or exceeded its bound — the CI contract.
+fn table1_pipeline(ctx: &Ctx) {
+    header(&format!(
+        "E0: reproduction pipeline — 8 algorithms × sync/async × asym/sym (tier: {:?})",
+        ctx.tier
+    ));
+    let (ns, shifts, seeds): (&[u64], u64, u64) = match ctx.tier {
+        Tier::Smoke => (&[8, 16], 16, 3),
+        Tier::Quick => (&[8, 16, 32], 48, 4),
+        Tier::Full => (&[8, 16, 32, 64, 128], 256, 6),
+    };
+    let k = 4usize;
+    // Printed for the operator but deliberately kept OUT of the artifacts:
+    // the parallel orchestrator's results are bit-identical at any thread
+    // count, and CI diffs the artifacts across machines to prove it.
+    println!(
+        "orchestrator: {} worker thread(s) detected; artifacts are thread-count invariant",
+        ParallelConfig::default().effective_threads(usize::MAX)
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    let mut curves = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    let mut md_rows = String::new();
+    println!(
+        "{:<16}{:<7}{:<11}{:>6}{:>12}{:>12}{:>12}  ok",
+        "algorithm", "timing", "scenario", "n", "maxTTR", "bound", "ratio"
+    );
+    for algo in PIPELINE_ALGOS {
+        for kind in ["asymmetric", "symmetric"] {
+            let mut points = Vec::new();
+            for &n in ns {
+                let scenario = if kind == "asymmetric" {
+                    workload::adversarial_overlap_one(n, k, k).expect("n ≥ 2k−1")
+                } else {
+                    workload::symmetric_pair(n, k, 0).expect("n ≥ k")
+                };
+                let (bound, bound_kind, gated) = cell_bound(algo, n, &scenario);
+                for timing in ["sync", "async"] {
+                    let cfg = SweepConfig {
+                        shifts: if timing == "sync" { 1 } else { shifts },
+                        shift_stride: 13,
+                        spread_over_period: timing == "async",
+                        seeds,
+                        horizon_override: 0,
+                        threads: 0,
+                    };
+                    let sweep = sweep_pair_ttr(algo, n, &scenario, &cfg).unwrap_or_else(|e| {
+                        panic!("pipeline cell {algo}/{timing}/{kind}/n={n}: {e}")
+                    });
+                    let ok = sweep.failures == 0 && sweep.summary.max <= bound;
+                    if gated && !ok {
+                        violations.push(format!(
+                            "{algo} ({timing}, {kind}, n={n}): max TTR {} vs bound {bound} \
+                             ({} horizon misses)",
+                            sweep.summary.max, sweep.failures
+                        ));
+                    }
+                    let ratio = sweep.summary.max as f64 / bound.max(1) as f64;
+                    println!(
+                        "{:<16}{:<7}{:<11}{:>6}{:>12}{:>12}{:>12.3}  {}",
+                        algo.to_string(),
+                        timing,
+                        kind,
+                        n,
+                        sweep.summary.max,
+                        bound,
+                        ratio,
+                        if ok { "yes" } else { "NO" }
+                    );
+                    md_rows.push_str(&format!(
+                        "| {algo} | {timing} | {kind} | {n} | {} | {} | {:.3} | {} | {} | {} |\n",
+                        sweep.summary.max,
+                        bound,
+                        ratio,
+                        sweep.summary.count,
+                        sweep.failures,
+                        if ok { "✓" } else { "✗" },
+                    ));
+                    if timing == "async" {
+                        points.push(Value::object([
+                            ("n", Value::from(n)),
+                            ("measured_max", Value::from(sweep.summary.max)),
+                            ("bound", Value::from(bound)),
+                        ]));
+                    }
+                    rows.push(row_json(&sweep, timing, kind, bound, bound_kind, gated, ok));
+                }
+            }
+            curves.push(Value::object([
+                ("algorithm", Value::from(algo.to_string())),
+                ("scenario", Value::from(kind)),
+                ("timing", Value::from("async")),
+                ("points", Value::Array(points)),
+            ]));
+        }
+    }
+
+    let tier_name = format!("{:?}", ctx.tier).to_lowercase();
+    let report = Value::object([
+        ("pipeline", Value::from("table1")),
+        (
+            "paper",
+            Value::from(
+                "Chen, Russell, Samanta, Sundaram — Deterministic Blind Rendezvous in \
+                 Cognitive Radio Networks (ICDCS 2014)",
+            ),
+        ),
+        ("tier", Value::from(tier_name.clone())),
+        (
+            "config",
+            Value::object([
+                (
+                    "ns",
+                    Value::Array(ns.iter().map(|&n| Value::from(n)).collect()),
+                ),
+                ("shifts", Value::from(shifts)),
+                ("seeds", Value::from(seeds)),
+                ("k", Value::from(k)),
+            ]),
+        ),
+        ("rows", Value::Array(rows)),
+        ("curves", Value::Array(curves)),
+        (
+            "violations",
+            Value::Array(violations.iter().map(|v| Value::from(v.as_str())).collect()),
+        ),
+    ]);
+
+    std::fs::create_dir_all(&ctx.out_dir)
+        .unwrap_or_else(|e| panic!("creating {}: {e}", ctx.out_dir.display()));
+    let json_path = ctx.out_dir.join("REPRO_table1.json");
+    std::fs::write(&json_path, serde_json::to_string_pretty(&report) + "\n")
+        .unwrap_or_else(|e| panic!("writing {}: {e}", json_path.display()));
+
+    let md_path = ctx.out_dir.join("REPRO_table1.md");
+    let verdict = if violations.is_empty() {
+        "**All gated cells respect their proven bounds.**".to_string()
+    } else {
+        format!(
+            "**{} bound violation(s):**\n\n{}",
+            violations.len(),
+            violations
+                .iter()
+                .map(|v| format!("- {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        )
+    };
+    let md = format!(
+        "# Paper reproduction — Table 1 comparison (tier: {tier_name})\n\n\
+         Regenerate with `cargo run --release --bin repro -- --{tier_name} table1`\n\
+         (drop the tier flag for the full paper-scale grid). Machine-readable\n\
+         twin: `REPRO_table1.json`. Cells marked *gated* carry a proven bound\n\
+         (Theorem 3, §3.2); a gated ✗ fails the pipeline, and CI runs it on\n\
+         every push.\n\n\
+         Sweeps ran on the work-stealing orchestrator; results (and this\n\
+         file) are bit-identical at any worker thread count.\n\n\
+         | algorithm | timing | scenario | n | max TTR | bound | max/bound | samples | misses | ok |\n\
+         |---|---|---|---|---|---|---|---|---|---|\n\
+         {md_rows}\n\
+         {verdict}\n"
+    );
+    std::fs::write(&md_path, md).unwrap_or_else(|e| panic!("writing {}: {e}", md_path.display()));
+
+    println!();
+    println!(
+        "wrote {} and {} ({} gated violations)",
+        json_path.display(),
+        md_path.display(),
+        violations.len()
+    );
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("BOUND VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// E1 — Table 1, asymmetric column: worst/mean TTR vs n per algorithm,
 /// adversarial overlap-one pairs, plus fitted growth exponents.
 fn table1_asym(ctx: &Ctx) {
     header("E1: Table 1 (asymmetric) — max TTR over wake-up shifts, |A|=|B|=4, |A∩B|=1");
-    let ns: &[u64] = if ctx.quick {
+    let ns: &[u64] = if ctx.quick() {
         &[8, 16, 32]
     } else {
         &[8, 16, 32, 64, 128]
     };
     let cfg = SweepConfig {
-        shifts: if ctx.quick { 64 } else { 1024 },
+        shifts: if ctx.quick() { 64 } else { 1024 },
         shift_stride: 13,
         spread_over_period: true,
         seeds: 6,
         horizon_override: 0,
+        threads: 0,
     };
     let algos = [
         Algorithm::Crseq,
@@ -110,7 +434,7 @@ fn table1_asym(ctx: &Ctx) {
         "~0 (kl loglog n)",
         "~0 (kl log n)",
     ];
-    let geometries = if ctx.quick { 3 } else { 8 };
+    let geometries = if ctx.quick() { 3 } else { 8 };
     for (algo, paper) in algos.iter().zip(paper_exp) {
         let mut points = Vec::new();
         print!("{:<16}", algo.to_string());
@@ -125,7 +449,7 @@ fn table1_asym(ctx: &Ctx) {
             let mut failures = 0usize;
             for scenario in &scenarios {
                 let s = sweep_pair_ttr(*algo, n, scenario, &cfg)
-                    .unwrap_or_else(|| panic!("{algo} produced no samples at n={n}"));
+                    .unwrap_or_else(|e| panic!("{algo} failed at n={n}: {e}"));
                 if algo.proven_asymmetric_guarantee() {
                     assert_eq!(s.failures, 0, "{algo} missed its horizon at n={n}");
                 }
@@ -157,17 +481,18 @@ fn table1_asym(ctx: &Ctx) {
 /// E2 — Table 1, symmetric column: A = B.
 fn table1_sym(ctx: &Ctx) {
     header("E2: Table 1 (symmetric) — max TTR over wake-up shifts, A = B, |A|=4");
-    let ns: &[u64] = if ctx.quick {
+    let ns: &[u64] = if ctx.quick() {
         &[8, 16, 32]
     } else {
         &[8, 16, 32, 64, 128]
     };
     let cfg = SweepConfig {
-        shifts: if ctx.quick { 64 } else { 1024 },
+        shifts: if ctx.quick() { 64 } else { 1024 },
         shift_stride: 13,
         spread_over_period: true,
         seeds: 6,
         horizon_override: 0,
+        threads: 0,
     };
     let algos = [
         Algorithm::Crseq,
@@ -188,7 +513,7 @@ fn table1_sym(ctx: &Ctx) {
         print!("{:>10}", format!("n={n}"));
     }
     println!("{:>9}{:>14}", "exp(n)", "paper");
-    let geometries = if ctx.quick { 3 } else { 8 };
+    let geometries = if ctx.quick() { 3 } else { 8 };
     for (algo, paper) in algos.iter().zip(paper_exp) {
         let mut points = Vec::new();
         print!("{:<16}", algo.to_string());
@@ -198,7 +523,7 @@ fn table1_sym(ctx: &Ctx) {
             for seed in 0..geometries {
                 let scenario = workload::symmetric_pair(n, 4, seed).expect("fits");
                 let s = sweep_pair_ttr(*algo, n, &scenario, &cfg)
-                    .unwrap_or_else(|| panic!("{algo} produced no samples at n={n}"));
+                    .unwrap_or_else(|e| panic!("{algo} failed at n={n}: {e}"));
                 if algo.proven_asymmetric_guarantee() {
                     assert_eq!(s.failures, 0, "{algo} missed at n={n}");
                 }
@@ -228,17 +553,18 @@ fn table1_sym(ctx: &Ctx) {
 fn thm3_scaling(ctx: &Ctx) {
     header("E3: Theorem 3 scaling — max TTR vs |A||B| (n=256) and vs n (|A|=|B|=4)");
     let cfg = SweepConfig {
-        shifts: if ctx.quick { 64 } else { 512 },
+        shifts: if ctx.quick() { 64 } else { 512 },
         shift_stride: 19,
         spread_over_period: true,
         seeds: 1,
         horizon_override: 0,
+        threads: 0,
     };
     println!(
         "{:<8}{:>8}{:>10}{:>12}{:>12}",
         "k=l", "k*l", "maxTTR", "TTR/(k*l)", "bound"
     );
-    let ks: &[usize] = if ctx.quick {
+    let ks: &[usize] = if ctx.quick() {
         &[2, 3, 4, 6]
     } else {
         &[2, 3, 4, 6, 8, 12]
@@ -260,7 +586,7 @@ fn thm3_scaling(ctx: &Ctx) {
     }
     println!();
     println!("{:<10}{:>10}{:>12}", "n", "maxTTR", "pair period");
-    let ns: &[u64] = if ctx.quick {
+    let ns: &[u64] = if ctx.quick() {
         &[16, 64, 256]
     } else {
         &[16, 64, 256, 1024, 4096]
@@ -283,7 +609,7 @@ fn pair_loglog(ctx: &Ctx) {
         "{:<22}{:>10}{:>12}{:>12}",
         "n", "period", "worst TTR", "log2 log2 n"
     );
-    let ns: &[u64] = if ctx.quick {
+    let ns: &[u64] = if ctx.quick() {
         &[4, 256, 65536]
     } else {
         &[4, 16, 256, 65536, 1 << 32, 1 << 62]
@@ -345,7 +671,7 @@ fn figures() {
 /// E8 — exact small-n optima: the Ω(log log n) companion.
 fn lb_exact(ctx: &Ctx) {
     header("E8: Theorem 4 companion — exact R_s(n,2) and cyclic R_a(n,2) by exhaustive search");
-    let max_n_sync = if ctx.quick { 8 } else { 10 };
+    let max_n_sync = if ctx.quick() { 8 } else { 10 };
     let max_n_cyc = 3; // n = 4 already needs a cyclic period > 6 (beyond the 2^6 domain)
     println!(
         "{:<6}{:>12}{:>16}{:>22}",
@@ -377,7 +703,7 @@ fn lb_exact(ctx: &Ctx) {
 /// E9 — Theorem 6 pigeonhole certificates.
 fn lb_sync(ctx: &Ctx) {
     header("E9: Theorem 6 — pigeonhole certificates (R_s ≥ αk for concrete families)");
-    let n = if ctx.quick { 16 } else { 64 };
+    let n = if ctx.quick() { 16 } else { 64 };
     println!(
         "{:<26}{:>4}{:>4}{:>18}",
         "family", "k", "α", "certified bound"
@@ -427,7 +753,7 @@ fn lb_async(ctx: &Ctx) {
     let family = move |set: &ChannelSet| {
         rdv_core::general::GeneralSchedule::asynchronous(n, set.clone()).expect("valid")
     };
-    let grid: &[(usize, usize)] = if ctx.quick {
+    let grid: &[(usize, usize)] = if ctx.quick() {
         &[(2, 2), (3, 3)]
     } else {
         &[(2, 2), (2, 4), (3, 3), (4, 4), (4, 6), (6, 6)]
@@ -457,15 +783,16 @@ fn beacon(ctx: &Ctx) {
         shifts: 4,
         shift_stride: 9,
         spread_over_period: true,
-        seeds: if ctx.quick { 12 } else { 32 },
+        seeds: if ctx.quick() { 12 } else { 32 },
         horizon_override: 0,
+        threads: 0,
     };
     println!("-- vs n (k = l = 4) --");
     println!(
         "{:<8}{:>12}{:>12}{:>12}{:>12}",
         "n", "A p50", "A p95", "B p50", "B p95"
     );
-    let ns: &[u64] = if ctx.quick {
+    let ns: &[u64] = if ctx.quick() {
         &[16, 64]
     } else {
         &[16, 64, 256, 1024]
@@ -482,7 +809,7 @@ fn beacon(ctx: &Ctx) {
     println!();
     println!("-- vs k (n = 256, l = k) --");
     println!("{:<8}{:>12}{:>12}", "k", "A p50", "B p50");
-    let ks: &[usize] = if ctx.quick { &[2, 8] } else { &[2, 4, 8, 16] };
+    let ks: &[usize] = if ctx.quick() { &[2, 8] } else { &[2, 4, 8, 16] };
     for &k in ks {
         let scenario = workload::adversarial_overlap_one(256, k, k).expect("fits");
         let a = sweep_pair_ttr(Algorithm::BeaconA, 256, &scenario, &cfg).expect("sweep A");
@@ -515,7 +842,7 @@ fn sdp_experiment(ctx: &Ctx) {
                 .expect("valid"),
         ),
     ];
-    let extra = if ctx.quick { 2 } else { 5 };
+    let extra = if ctx.quick() { 2 } else { 5 };
     for i in 0..extra {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + i);

@@ -1,0 +1,260 @@
+//! Minimal offline stand-in for `crossbeam-deque`: the injector / worker /
+//! stealer triple behind the workspace's work-stealing orchestrator.
+//!
+//! The real crate is a lock-free Chase–Lev deque; this shim keeps the API
+//! and the *scheduling semantics* (FIFO injector, per-worker local queues,
+//! opposite-end stealing, batched injector refills) but backs every queue
+//! with a `Mutex<VecDeque>`. For the workspace's workloads — tasks that
+//! each run thousands of schedule-evaluation slots — queue overhead is
+//! noise, and the mutex shim keeps `vendor/` free of `unsafe`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// A global FIFO task queue every worker pulls from, mirroring
+/// `crossbeam_deque::Injector`.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a task at the back.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+    }
+
+    /// Steals one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("injector poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Moves a batch of tasks into `dest`'s local queue and pops one of
+    /// them, amortizing injector contention across several local pops.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut queue = self.queue.lock().expect("injector poisoned");
+        let available = queue.len();
+        if available == 0 {
+            return Steal::Empty;
+        }
+        // Half the queue, capped — the real crate's batching policy.
+        let batch = (available / 2).clamp(1, 32);
+        let mut local = dest.queue.lock().expect("worker poisoned");
+        for _ in 0..batch {
+            if let Some(t) = queue.pop_front() {
+                local.push_back(t);
+            }
+        }
+        match local.pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the injector currently holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("injector poisoned").is_empty()
+    }
+}
+
+/// A worker's local queue, mirroring `crossbeam_deque::Worker` (FIFO
+/// flavor — the order-preserving one, which the deterministic orchestrator
+/// relies on for cache-friendly chunk traversal).
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new_fifo()
+    }
+}
+
+impl<T> Worker<T> {
+    /// Creates an empty FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the local queue.
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("worker poisoned").push_back(task);
+    }
+
+    /// Pops the next local task (front — FIFO order).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().expect("worker poisoned").pop_front()
+    }
+
+    /// A handle other threads can steal from.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Whether the local queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("worker poisoned").is_empty()
+    }
+}
+
+/// A steal handle onto some worker's queue, mirroring
+/// `crossbeam_deque::Stealer`.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the *back* of the victim's queue (the end the
+    /// owner touches last, minimizing interference).
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("stealer poisoned").pop_back() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the victim's queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("stealer poisoned").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        for i in 0..5 {
+            inj.push(i);
+        }
+        assert_eq!(inj.steal(), Steal::Success(0));
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert!(!inj.is_empty());
+    }
+
+    #[test]
+    fn batch_steal_refills_worker() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        // Half of 10 = batch of 5; first popped is 0, worker keeps 1..=4.
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert_eq!(w.pop(), Some(1));
+        assert!(!w.is_empty());
+        assert!(!inj.is_empty());
+    }
+
+    #[test]
+    fn stealer_takes_from_back() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(3));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.clone().steal(), Steal::Success(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn cross_thread_stealing_loses_no_tasks() {
+        let inj = Injector::new();
+        let total = 10_000u64;
+        for i in 0..total {
+            inj.push(i);
+        }
+        let workers: Vec<Worker<u64>> = (0..4).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<u64>> = workers.iter().map(Worker::stealer).collect();
+        let sums: Vec<u64> = crate::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter()
+                .map(|w| {
+                    let inj = &inj;
+                    let stealers = &stealers;
+                    scope.spawn(move |_| {
+                        let mut sum = 0u64;
+                        loop {
+                            let task = w.pop().or_else(|| {
+                                inj.steal_batch_and_pop(w)
+                                    .success()
+                                    .or_else(|| stealers.iter().find_map(|s| s.steal().success()))
+                            });
+                            match task {
+                                Some(t) => sum += t,
+                                None => break,
+                            }
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread"))
+                .collect()
+        })
+        .expect("scope");
+        assert_eq!(sums.iter().sum::<u64>(), total * (total - 1) / 2);
+    }
+}

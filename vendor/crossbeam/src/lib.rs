@@ -1,6 +1,9 @@
-//! Minimal offline stand-in for `crossbeam`'s scoped threads, backed by
-//! `std::thread::scope` (which post-dates crossbeam's API and makes the
-//! shim a thin wrapper).
+//! Minimal offline stand-in for the `crossbeam` facade: scoped threads
+//! (backed by `std::thread::scope`, which post-dates crossbeam's API and
+//! makes the shim a thin wrapper) plus the [`deque`] work-stealing queues
+//! the parallel sweep orchestrator schedules over.
+
+pub mod deque;
 
 use std::any::Any;
 

@@ -1,6 +1,7 @@
 //! Minimal offline stand-in for `serde_json`: a JSON `Value` tree with a
-//! correct, escaping renderer. Enough to emit machine-readable reports
-//! (`BENCH_kernel.json` and friends) without the crates.io dependency.
+//! correct, escaping renderer and a recursive-descent parser. Enough to
+//! emit *and read back* machine-readable reports (`BENCH_kernel.json`,
+//! `REPRO_table1.json` and friends) without the crates.io dependency.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -26,6 +27,309 @@ impl Value {
     /// Convenience object constructor from `(key, value)` pairs.
     pub fn object(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
         Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object member lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        const TWO_POW_64: f64 = 18_446_744_073_709_551_616.0;
+        match self {
+            Value::Number(x) if *x >= 0.0 && *x == x.trunc() && *x < TWO_POW_64 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Accepts exactly one top-level value surrounded by optional whitespace.
+/// Number syntax follows RFC 8259; all numbers land in `f64` (like this
+/// shim's `Value::Number`).
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: require the paired \uXXXX.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so any
+                    // multi-byte sequence is valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII number bytes are UTF-8");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("number out of range"))
     }
 }
 
@@ -174,5 +478,61 @@ mod tests {
             "{\"flags\":[true,null],\"n\":64,\"name\":\"a\\\"b\",\"rate\":1.5}"
         );
         assert!(to_string_pretty(&v).contains("\n  \"n\": 64"));
+    }
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let v = Value::object([
+            ("name", Value::from("a\"b\\c\nd")),
+            ("n", Value::from(64u64)),
+            ("rate", Value::from(1.5f64)),
+            ("neg", Value::from(-3.25f64)),
+            ("big", Value::from(9.6e8f64)),
+            (
+                "flags",
+                Value::Array(vec![Value::Bool(true), Value::Null, Value::from("x")]),
+            ),
+            ("empty_arr", Value::Array(vec![])),
+            ("empty_obj", Value::Object(Default::default())),
+        ]);
+        assert_eq!(from_str(&to_string(&v)).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = from_str(r#"{"s": "tab\tnl\nuniésurr😀"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("tab\tnl\nuniésurr😀"));
+    }
+
+    #[test]
+    fn accessors_extract_typed_views() {
+        let v = from_str(r#"{"n": 42, "x": 1.5, "s": "hi", "a": [1, 2]}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(42.0));
+        assert_eq!(v.get("x").unwrap().as_u64(), None);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert!(v.get("missing").is_none());
+        assert!(v.get("s").unwrap().get("nested").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "\"bad \\q escape\"",
+            "nul",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }
