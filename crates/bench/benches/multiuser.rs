@@ -1,0 +1,75 @@
+//! The shared-arena multi-user engine over clustered populations, at
+//! population sizes `n_agents ∈ {64, 512, 4096}`.
+//!
+//! Measures the arena engine in both resolution modes against the seed
+//! per-pair engine (`run_per_pair_reference`), which re-fills each
+//! agent's schedule once per pair per block. On dense populations —
+//! hundreds of pending pairs per agent — the arena's fill-once phases
+//! plus the bucket scan should win by an order of magnitude or more; the
+//! committed `BENCH_multiuser.json` (see `bench_report`) tracks the exact
+//! speedup over PRs. The per-pair baseline is only timed at the smaller
+//! sizes (it is the quadratic cost the arena removes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_sim::engine::{EngineConfig, ResolveMode, Simulation};
+use rdv_sim::{workload, Algorithm, ParallelConfig};
+use std::hint::black_box;
+
+/// Population scaled with its universe so density (pending pairs per
+/// agent) stays in the regime the size is meant to exercise.
+fn sim_at(n_agents: usize) -> (Simulation, u64) {
+    let (universe, k, horizon) = match n_agents {
+        64 => (64, 8, 1 << 12),
+        512 => (128, 16, 1 << 12),
+        _ => (512, 32, 1 << 11),
+    };
+    let agents = workload::clustered_agents(Algorithm::Ours, universe, k, n_agents, 11, 256);
+    (Simulation::new(agents), horizon)
+}
+
+fn bench_arena_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiuser_arena");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.sample_size(10);
+    for n_agents in [64usize, 512, 4096] {
+        let (sim, horizon) = sim_at(n_agents);
+        for (name, mode) in [
+            ("auto", ResolveMode::Auto),
+            ("pair_major", ResolveMode::PairMajor),
+            ("bucket", ResolveMode::BucketScan),
+        ] {
+            // Forced modes only at the density where the choice matters;
+            // auto everywhere.
+            if name != "auto" && n_agents != 512 {
+                continue;
+            }
+            let cfg = EngineConfig {
+                parallel: ParallelConfig::with_threads(0),
+                mode,
+            };
+            group.bench_with_input(BenchmarkId::new(name, n_agents), &cfg, |b, cfg| {
+                b.iter(|| black_box(sim.run_engine(horizon, cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_per_pair_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiuser_per_pair");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.sample_size(10);
+    for n_agents in [64usize, 512] {
+        let (sim, horizon) = sim_at(n_agents);
+        let cfg = ParallelConfig::with_threads(0);
+        group.bench_with_input(BenchmarkId::new("seed_engine", n_agents), &cfg, |b, cfg| {
+            b.iter(|| black_box(sim.run_per_pair_reference(horizon, cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arena_engine, bench_per_pair_baseline);
+criterion_main!(benches);

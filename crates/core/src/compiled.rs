@@ -113,7 +113,20 @@ impl<S: Schedule> PreparedSchedule<S> {
     /// Compiles `schedule` under the default period cap, falling back to
     /// the raw schedule when compilation is refused.
     pub fn new(schedule: S) -> Self {
-        match CompiledSchedule::compile(&schedule) {
+        Self::new_capped(schedule, CompiledSchedule::DEFAULT_MAX_PERIOD)
+    }
+
+    /// Compiles `schedule` under an explicit period cap, falling back to
+    /// the raw schedule when the period is unknown or exceeds `max_period`.
+    ///
+    /// The default cap is sized for *one* schedule evaluated millions of
+    /// times (a pair sweep). Population-scale consumers — the multi-agent
+    /// arena engine prepares one schedule **per agent** and reuses it
+    /// across every block of the run — divide a total table budget by the
+    /// agent count and pass the quotient here, so a 10k-agent simulation
+    /// cannot materialize 10k maximum-size tables.
+    pub fn new_capped(schedule: S, max_period: u64) -> Self {
+        match CompiledSchedule::compile_capped(&schedule, max_period) {
             Some(c) => PreparedSchedule::Table(c),
             None => PreparedSchedule::Raw(schedule),
         }
@@ -229,6 +242,20 @@ mod tests {
         let long = CyclicSchedule::new(vec![Channel::new(1); 10]).unwrap();
         assert!(CompiledSchedule::compile_capped(&long, 9).is_none());
         assert!(CompiledSchedule::compile_capped(&long, 10).is_some());
+    }
+
+    #[test]
+    fn prepared_capped_falls_back_below_period() {
+        let s =
+            CyclicSchedule::new(vec![Channel::new(1), Channel::new(2), Channel::new(3)]).unwrap();
+        let table = PreparedSchedule::new_capped(&s, 3);
+        assert!(table.table().is_some());
+        let raw = PreparedSchedule::new_capped(&s, 2);
+        assert!(raw.table().is_none());
+        for t in 0..20 {
+            assert_eq!(table.channel_at(t), s.channel_at(t));
+            assert_eq!(raw.channel_at(t), s.channel_at(t));
+        }
     }
 
     #[test]

@@ -1,9 +1,86 @@
-//! The multi-agent discrete-time simulator.
+//! The multi-agent discrete-time simulator: a shared-arena engine that
+//! fills every agent's schedule **once** per block and resolves all
+//! pending pairs over the shared read-only arena.
+//!
+//! # The shared block arena
+//!
+//! The engine advances time in blocks of `BLOCK` (512) slots. Each block is a
+//! two-phase bulk step on the work-stealing orchestrator
+//! ([`pool::run_two_phase`]):
+//!
+//! 1. **Fill** — every in-play agent's channels for the block are written
+//!    once into its row of a flat `n × BLOCK` arena, sharded into agent
+//!    chunks. Schedules are prepared once per run
+//!    ([`PreparedSchedule::new_capped`], budgeted across the population)
+//!    and reused across every block. `0` marks not-yet-awake slots
+//!    (channels are 1-indexed, so the sentinel is unambiguous).
+//! 2. **Resolve** — pending pairs are resolved in parallel over the
+//!    shared arena, in one of two modes (see [`ResolveMode`]).
+//!
+//! The per-pair engine this replaces re-filled each agent's schedule once
+//! per *pair* it participated in — `O(pairs)` fills per block, ~500k
+//! redundant fills per block on a dense 1k-agent population. The arena
+//! pays `O(agents)` fills per block regardless of density.
+//!
+//! # Pair-major vs bucket resolution
+//!
+//! *Pair-major* scans each pending pair's two rows — `O(pairs · BLOCK)`
+//! per block, unbeatable when pairs are scarce. When pending pairs vastly
+//! outnumber agents, the engine instead builds a per-slot channel→agents
+//! bucket index from the arena and reads meetings straight out of the
+//! buckets (two agents in one bucket *are* a meeting), which costs
+//! `O(agents · BLOCK + meetings)` — see [`ResolveMode`] for the
+//! crossover heuristic. Both modes compute the exact per-pair first
+//! meeting slot, so the report is bit-identical across modes and thread
+//! counts (`tests/multiuser_arena.rs` property-tests this against a
+//! slot-by-slot reference).
 
 use crate::algo::DynSchedule;
 use crate::pool::{self, ParallelConfig};
 use rdv_core::channel::ChannelSet;
-use std::collections::HashMap;
+use rdv_core::compiled::PreparedSchedule;
+use rdv_core::schedule::Schedule;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slots per arena block: large enough to amortize fills and task
+/// scheduling, small enough that the `n × BLOCK` arena of a 10k-agent
+/// population stays cache- and memory-friendly (40 MiB).
+const BLOCK: usize = 512;
+
+/// Total compiled-schedule table budget across the population, in slots
+/// (64 MiB of `u64` tables). Each agent gets an equal share as its
+/// [`PreparedSchedule::new_capped`] period cap; agents whose period does
+/// not fit fall back to their raw block-fill kernel.
+const COMPILE_BUDGET_SLOTS: u64 = 1 << 23;
+
+/// [`ResolveMode::Auto`] switches from pair-major to the bucket scan when
+/// pending pairs exceed this multiple of in-play agents. The model:
+/// pair-major costs ~`pending · BLOCK` row-scan steps per block, the
+/// bucket scan ~`agents · BLOCK` gather steps plus the regrouping and
+/// bucket-pair emissions — so the scan wins once each agent carries a
+/// few dozen pending pairs. 16 is the measured crossover on clustered
+/// populations (see `benches/multiuser.rs`); the exact value only
+/// matters near the boundary, where the two modes cost the same.
+///
+/// Public so density-aware consumers (the `bench_report` speedup gate)
+/// classify cells by the same threshold the engine uses.
+pub const BUCKET_CROSSOVER: usize = 16;
+
+/// The bucket scan filters emissions through an `n(n−1)/2`-bit met-pair
+/// bitset; cap the population it is allocated for (64 MiB at the cap).
+/// Beyond it the engine stays pair-major.
+const MAX_BUCKET_AGENTS: usize = 1 << 15;
+
+/// Population range over which [`Simulation::overlapping_pairs`] uses
+/// the channel-inverted index (`O(n·k + Σ_c |bucket_c|² + n²/64)`)
+/// instead of the nested `O(n²·k)` set-overlap scan: below the floor the
+/// nested scan is cheap anyway, above the ceiling the index's
+/// `n(n−1)/2`-bit marking set (512 MiB at the ceiling) outgrows the win
+/// and the memory-proportional nested scan resumes.
+const INDEXED_OVERLAP_MIN_AGENTS: usize = 256;
+const INDEXED_OVERLAP_MAX_AGENTS: usize = 1 << 17;
 
 /// One simulated agent.
 pub struct Agent {
@@ -15,13 +92,102 @@ pub struct Agent {
     pub schedule: DynSchedule,
 }
 
+/// How the engine resolves pending pairs against the filled arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResolveMode {
+    /// Choose per block: pair-major until pending pairs exceed
+    /// `BUCKET_CROSSOVER` (16)× the in-play agents, bucket scan beyond. The
+    /// choice is re-evaluated every block — dense populations start in
+    /// bucket mode and drop back to pair-major as pairs meet and leave.
+    #[default]
+    Auto,
+    /// Always scan each pending pair's two arena rows
+    /// (`O(pairs · BLOCK)` per block).
+    PairMajor,
+    /// Always build the per-slot channel→agents bucket index
+    /// (`O(agents · BLOCK + meetings)` per block). Falls back to
+    /// pair-major above `MAX_BUCKET_AGENTS` (32 768) agents.
+    BucketScan,
+}
+
+/// Full engine configuration: thread policy plus resolution mode.
+///
+/// The default (auto threads, auto mode) is what [`Simulation::run`]
+/// uses. Every combination produces a bit-identical [`MeetingReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineConfig {
+    /// Worker-thread policy for both arena phases.
+    pub parallel: ParallelConfig,
+    /// Pair-resolution mode (kept overridable for tests and benches; the
+    /// default adapts per block).
+    pub mode: ResolveMode,
+}
+
+/// A map from agent pairs `(i, j)`, `i < j`, to first-meeting slots,
+/// backed by a pair-sorted vector — iteration order, `Debug`, and any
+/// serialization derived from it are deterministic, unlike the
+/// `HashMap` this replaces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MeetingMap {
+    /// Sorted by pair, each pair present at most once.
+    entries: Vec<((usize, usize), u64)>,
+}
+
+impl MeetingMap {
+    /// Sorts raw `(pair, slot)` entries into a map. Callers guarantee
+    /// pair uniqueness (each engine records a pair's first meeting once).
+    fn from_entries(mut entries: Vec<((usize, usize), u64)>) -> Self {
+        entries.sort_unstable();
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate pair in meeting map"
+        );
+        MeetingMap { entries }
+    }
+
+    /// The first-meeting slot of pair `(i, j)`, in either order.
+    pub fn get(&self, i: usize, j: usize) -> Option<u64> {
+        let key = if i < j { (i, j) } else { (j, i) };
+        self.entries
+            .binary_search_by_key(&key, |&(pair, _)| pair)
+            .ok()
+            .map(|at| self.entries[at].1)
+    }
+
+    /// Whether pair `(i, j)` met.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.get(i, j).is_some()
+    }
+
+    /// Number of pairs that met.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pair met.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `((i, j), slot)` in increasing pair order.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The sorted `(pair, slot)` entries.
+    pub fn as_slice(&self) -> &[((usize, usize), u64)] {
+        &self.entries
+    }
+}
+
 /// First-meeting results of a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeetingReport {
-    /// `meetings[i][j]` (for `i < j`): absolute slot of the first meeting,
-    /// if it happened within the horizon.
-    pub first_meeting: HashMap<(usize, usize), u64>,
-    /// Pairs with overlapping sets that failed to meet within the horizon.
+    /// For each overlapping pair `(i, j)` (`i < j`) that met within the
+    /// horizon: the absolute slot of the first meeting.
+    pub first_meeting: MeetingMap,
+    /// Pairs with overlapping sets that failed to meet within the
+    /// horizon, sorted.
     pub missed: Vec<(usize, usize)>,
     /// The horizon used.
     pub horizon: u64,
@@ -30,8 +196,7 @@ pub struct MeetingReport {
 impl MeetingReport {
     /// Time-to-rendezvous for a pair, measured from the later wake slot.
     pub fn ttr(&self, i: usize, j: usize, agents: &[Agent]) -> Option<u64> {
-        let key = if i < j { (i, j) } else { (j, i) };
-        let t = *self.first_meeting.get(&key)?;
+        let t = self.first_meeting.get(i, j)?;
         let both_awake = agents[i].wake.max(agents[j].wake);
         Some(t - both_awake)
     }
@@ -40,6 +205,21 @@ impl MeetingReport {
     pub fn all_met(&self) -> bool {
         self.missed.is_empty()
     }
+}
+
+/// Index of pair `(i, j)`, `i < j`, in the flattened upper triangle of an
+/// `n × n` matrix — the bit layout of the met-pair and overlap bitsets.
+fn pair_bit(i: usize, j: usize, n: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+fn test_bit(bits: &[u64], at: usize) -> bool {
+    bits[at / 64] & (1 << (at % 64)) != 0
+}
+
+fn set_bit(bits: &mut [u64], at: usize) {
+    bits[at / 64] |= 1 << (at % 64);
 }
 
 /// A configured multi-agent simulation.
@@ -58,15 +238,62 @@ impl Simulation {
         &self.agents
     }
 
-    /// The overlapping (i, j) pairs, i < j — the work list of a run.
+    /// The overlapping (i, j) pairs, i < j, in lexicographic order — the
+    /// work list of a run.
+    ///
+    /// Small populations use the direct nested set-overlap scan. Large
+    /// ones invert the population into a channel→agents index and mark
+    /// co-owning pairs in a bitset: `O(n²)` pairwise `overlaps()` calls
+    /// (each `O(k log k)`) would dominate the whole run at 10k agents,
+    /// while the index costs one bit-or per co-ownership and a linear
+    /// bitset sweep. Populations beyond the index's memory ceiling drop
+    /// back to the nested scan, which allocates only the output.
     fn overlapping_pairs(&self) -> Vec<(usize, usize)> {
         let n = self.agents.len();
+        if !(INDEXED_OVERLAP_MIN_AGENTS..=INDEXED_OVERLAP_MAX_AGENTS).contains(&n) {
+            let mut pending = Vec::new();
+            for i in 0..n {
+                for j in i + 1..n {
+                    if self.agents[i].set.overlaps(&self.agents[j].set) {
+                        pending.push((i, j));
+                    }
+                }
+            }
+            return pending;
+        }
+        let mut by_channel: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, agent) in self.agents.iter().enumerate() {
+            for &c in agent.set.as_slice() {
+                by_channel.entry(c).or_default().push(i as u32);
+            }
+        }
+        let mut bits = vec![0u64; (n * (n - 1) / 2).div_ceil(64)];
+        for bucket in by_channel.values() {
+            for (at, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[at + 1..] {
+                    // Buckets are built in ascending agent order, so i < j.
+                    set_bit(&mut bits, pair_bit(i as usize, j as usize, n));
+                }
+            }
+        }
         let mut pending = Vec::new();
+        let mut bit = 0usize;
         for i in 0..n {
-            for j in i + 1..n {
-                if self.agents[i].set.overlaps(&self.agents[j].set) {
+            let mut j = i + 1;
+            while j < n {
+                // Whole-word skip keeps sparse populations linear in the
+                // bitset, not in n².
+                if bit.is_multiple_of(64) && bits[bit / 64] == 0 {
+                    let skip = 64.min(n - j);
+                    j += skip;
+                    bit += skip;
+                    continue;
+                }
+                if test_bit(&bits, bit) {
                     pending.push((i, j));
                 }
+                j += 1;
+                bit += 1;
             }
         }
         pending
@@ -75,63 +302,252 @@ impl Simulation {
     /// Runs the simulation for `horizon` absolute slots, recording the
     /// first meeting slot of every overlapping pair.
     ///
-    /// Equivalent to [`Self::run_with`] under the default (auto-detected)
-    /// thread count; the report is bit-identical for every thread count.
+    /// Equivalent to [`Self::run_engine`] under the default
+    /// (auto-detected) configuration; the report is bit-identical for
+    /// every thread count and resolution mode.
     pub fn run(&self, horizon: u64) -> MeetingReport {
-        self.run_with(horizon, &ParallelConfig::default())
+        self.run_engine(horizon, &EngineConfig::default())
     }
 
     /// [`Self::run`] with an explicit thread-count policy.
+    pub fn run_with(&self, horizon: u64, cfg: &ParallelConfig) -> MeetingReport {
+        self.run_engine(
+            horizon,
+            &EngineConfig {
+                parallel: *cfg,
+                mode: ResolveMode::Auto,
+            },
+        )
+    }
+
+    /// The shared-arena engine (see the module docs for the design).
     ///
     /// A meeting is two *awake* agents hopping on the same channel in the
     /// same slot. Agents whose sets do not overlap are ignored (they can
-    /// never meet).
-    ///
-    /// Single-threaded, the engine advances in shared blocks (the
-    /// block-fill/pair-major scan described on `run_sequential` in the
-    /// source); with more threads the overlapping pairs
-    /// are sharded into chunked tasks on the work-stealing orchestrator
-    /// ([`pool::run_indexed`]), each pair resolved by an independent
-    /// two-agent block scan over the shared read-only schedules. Both
-    /// paths compute the exact per-pair first-meeting slot, so the report
-    /// is identical regardless of `cfg`.
-    pub fn run_with(&self, horizon: u64, cfg: &ParallelConfig) -> MeetingReport {
-        let pending = self.overlapping_pairs();
-        // Pairs per orchestrator task: small enough to steal, large enough
-        // to amortize task bookkeeping over several block scans.
-        const PAIRS_PER_TASK: usize = 4;
-        let tasks: Vec<&[(usize, usize)]> = pending.chunks(PAIRS_PER_TASK.max(1)).collect();
-        if cfg.effective_threads(tasks.len()) <= 1 {
-            return self.run_sequential(horizon, pending);
+    /// never meet). Every configuration — any thread count, any
+    /// [`ResolveMode`] — computes the exact per-pair first-meeting slot,
+    /// so the report is identical regardless of `cfg`.
+    pub fn run_engine(&self, horizon: u64, cfg: &EngineConfig) -> MeetingReport {
+        let n = self.agents.len();
+        let mut pending = self.overlapping_pairs();
+        if pending.is_empty() || horizon == 0 {
+            return MeetingReport {
+                first_meeting: MeetingMap::default(),
+                missed: pending,
+                horizon,
+            };
         }
+        let mut entries: Vec<((usize, usize), u64)> = Vec::new();
+        // Pending-pair count per agent: agents at zero (disjoint sets, or
+        // all their pairs already met) drop out of the block fill.
+        let mut load = vec![0u32; n];
+        for &(i, j) in &pending {
+            load[i] += 1;
+            load[j] += 1;
+        }
+        // Compiled-schedule reuse across blocks: prepare once per run,
+        // budgeting total table memory across the population.
+        let cap = COMPILE_BUDGET_SLOTS / n as u64;
+        let prepared: Vec<PreparedSchedule<&DynSchedule>> = self
+            .agents
+            .iter()
+            .map(|a| PreparedSchedule::new_capped(&a.schedule, cap))
+            .collect();
+        let arena: Vec<AtomicU64> = std::iter::repeat_with(|| AtomicU64::new(0))
+            .take(n * BLOCK)
+            .collect();
+        let max_channel = self
+            .agents
+            .iter()
+            .map(|a| a.set.max_channel().get())
+            .max()
+            .unwrap_or(0);
+        let bucket_usable = n <= MAX_BUCKET_AGENTS && cfg.mode != ResolveMode::PairMajor;
+        // Met-pair bitset, the bucket scan's emission filter; allocated
+        // lazily on the first bucket block (backfilled from `entries` so
+        // earlier pair-major meetings are not re-emitted).
+        let mut met: Vec<u64> = Vec::new();
+
+        let mut block_start = 0u64;
+        while block_start < horizon && !pending.is_empty() {
+            let len = (horizon - block_start).min(BLOCK as u64) as usize;
+            let block_end = block_start + len as u64;
+            let in_play: Vec<u32> = (0..n as u32).filter(|&i| load[i as usize] > 0).collect();
+            let threads = cfg
+                .parallel
+                .effective_threads(in_play.len().max(pending.len()));
+            let use_bucket = bucket_usable
+                && match cfg.mode {
+                    ResolveMode::BucketScan => true,
+                    ResolveMode::Auto => pending.len() >= BUCKET_CROSSOVER * in_play.len(),
+                    ResolveMode::PairMajor => false,
+                };
+            if use_bucket && met.is_empty() {
+                met = vec![0u64; (n * (n - 1) / 2).div_ceil(64)];
+                for &((i, j), _) in &entries {
+                    set_bit(&mut met, pair_bit(i, j, n));
+                }
+            }
+            let fill_tasks: Vec<&[u32]> = in_play
+                .chunks(pool::chunk_size(in_play.len(), threads))
+                .collect();
+            let agents = &self.agents;
+            let (prepared, arena) = (&prepared, &arena);
+            // Phase 1: each task fills its agents' arena rows for the
+            // block. Relaxed stores — the two-phase barrier publishes
+            // them to the resolve tasks.
+            let fill = move |_idx: usize, chunk: &[u32]| {
+                let mut scratch = [0u64; BLOCK];
+                for &ai in chunk {
+                    let ai = ai as usize;
+                    let agent = &agents[ai];
+                    let row = &arena[ai * BLOCK..ai * BLOCK + len];
+                    if agent.wake >= block_end {
+                        for slot in row {
+                            slot.store(0, Ordering::Relaxed);
+                        }
+                        continue;
+                    }
+                    let awake_from = agent.wake.max(block_start);
+                    let lead = (awake_from - block_start) as usize;
+                    prepared[ai].fill_channels(awake_from - agent.wake, &mut scratch[lead..len]);
+                    for slot in &row[..lead] {
+                        slot.store(0, Ordering::Relaxed);
+                    }
+                    for (slot, &c) in row[lead..].iter().zip(&scratch[lead..len]) {
+                        slot.store(c, Ordering::Relaxed);
+                    }
+                }
+            };
+            if use_bucket {
+                let slot_chunk = pool::chunk_size(len, threads);
+                let slot_tasks: Vec<Range<usize>> = (0..len)
+                    .step_by(slot_chunk)
+                    .map(|lo| lo..(lo + slot_chunk).min(len))
+                    .collect();
+                let (met_ref, in_play_ref) = (&met, &in_play);
+                let found: Vec<Vec<(u32, u32, u64)>> = pool::run_two_phase(
+                    &cfg.parallel,
+                    fill_tasks,
+                    slot_tasks,
+                    fill,
+                    move |_idx, slots| {
+                        bucket_scan(
+                            arena,
+                            in_play_ref,
+                            met_ref,
+                            n,
+                            max_channel,
+                            slots,
+                            block_start,
+                        )
+                    },
+                );
+                // Tasks cover ascending slot ranges and emit in ascending
+                // slot order, so the first record of a pair is its first
+                // meeting of the block.
+                for (i, j, t) in found.into_iter().flatten() {
+                    let (i, j) = (i as usize, j as usize);
+                    let bit = pair_bit(i, j, n);
+                    if !test_bit(&met, bit) {
+                        set_bit(&mut met, bit);
+                        entries.push(((i, j), t));
+                        load[i] -= 1;
+                        load[j] -= 1;
+                    }
+                }
+                pending.retain(|&(i, j)| !test_bit(&met, pair_bit(i, j, n)));
+            } else {
+                let pair_tasks: Vec<&[(usize, usize)]> = pending
+                    .chunks(pool::chunk_size(pending.len(), threads))
+                    .collect();
+                let results: Vec<Vec<Option<u64>>> = pool::run_two_phase(
+                    &cfg.parallel,
+                    fill_tasks,
+                    pair_tasks,
+                    fill,
+                    move |_idx, chunk: &[(usize, usize)]| {
+                        chunk
+                            .iter()
+                            .map(|&(i, j)| {
+                                let ri = &arena[i * BLOCK..i * BLOCK + len];
+                                let rj = &arena[j * BLOCK..j * BLOCK + len];
+                                (0..len).find_map(|x| {
+                                    let c = ri[x].load(Ordering::Relaxed);
+                                    if c != 0 && c == rj[x].load(Ordering::Relaxed) {
+                                        Some(block_start + x as u64)
+                                    } else {
+                                        None
+                                    }
+                                })
+                            })
+                            .collect()
+                    },
+                );
+                let mut outcomes = results.into_iter().flatten();
+                let track_met = !met.is_empty();
+                pending.retain(|&(i, j)| {
+                    match outcomes.next().expect("one outcome per pending pair") {
+                        Some(t) => {
+                            entries.push(((i, j), t));
+                            if track_met {
+                                set_bit(&mut met, pair_bit(i, j, n));
+                            }
+                            load[i] -= 1;
+                            load[j] -= 1;
+                            false
+                        }
+                        None => true,
+                    }
+                });
+            }
+            block_start = block_end;
+        }
+        pending.sort_unstable();
+        MeetingReport {
+            first_meeting: MeetingMap::from_entries(entries),
+            missed: pending,
+            horizon,
+        }
+    }
+
+    /// The seed per-pair engine, kept as the benchmark baseline and test
+    /// reference: every pending pair is resolved by an independent
+    /// two-agent block scan, re-filling each agent's schedule once per
+    /// pair — `O(pairs)` fills per block, which is exactly the redundancy
+    /// the arena engine eliminates. Produces the identical report.
+    pub fn run_per_pair_reference(&self, horizon: u64, cfg: &ParallelConfig) -> MeetingReport {
+        let pending = self.overlapping_pairs();
+        let threads = cfg.effective_threads(pending.len());
+        let tasks: Vec<&[(usize, usize)]> = pending
+            .chunks(pool::chunk_size(pending.len(), threads))
+            .collect();
         let meetings: Vec<Vec<Option<u64>>> = pool::run_indexed(tasks, cfg, |_idx, chunk| {
             chunk
                 .iter()
                 .map(|&(i, j)| self.pair_first_meeting(i, j, horizon))
                 .collect()
         });
-        let mut first_meeting = HashMap::new();
+        let mut entries = Vec::new();
         let mut missed = Vec::new();
         for (&(i, j), met) in pending.iter().zip(meetings.iter().flatten()) {
             match met {
-                Some(t) => {
-                    first_meeting.insert((i, j), *t);
-                }
+                Some(t) => entries.push(((i, j), *t)),
                 None => missed.push((i, j)),
             }
         }
+        missed.sort_unstable();
         MeetingReport {
-            first_meeting,
+            first_meeting: MeetingMap::from_entries(entries),
             missed,
             horizon,
         }
     }
 
     /// First absolute slot at which agents `i` and `j` are both awake and
-    /// on the same channel — an independent two-agent block scan, the unit
-    /// of parallelism of [`Self::run_with`].
+    /// on the same channel — the unit of parallelism of
+    /// [`Self::run_per_pair_reference`].
     fn pair_first_meeting(&self, i: usize, j: usize, horizon: u64) -> Option<u64> {
-        const BLOCK: usize = 512;
         let (ai, aj) = (&self.agents[i], &self.agents[j]);
         let start = ai.wake.max(aj.wake);
         if start >= horizon {
@@ -153,72 +569,156 @@ impl Simulation {
         }
         None
     }
+}
 
-    /// The single-threaded engine: advances in blocks, filling each
-    /// *agent's* channels once per block through the bulk
-    /// [`fill_channels`](rdv_core::schedule::Schedule::fill_channels)
-    /// kernel into a flat per-agent buffer (`0` marks not-yet-awake slots —
-    /// channels are 1-indexed, so the sentinel is unambiguous), then
-    /// resolving each pending pair by a pair-major scan over the two
-    /// buffers. This replaces the former per-slot `HashMap<channel,
-    /// Vec<agent>>` grouping and its linear membership probes, and shares
-    /// each agent's fill across all of its pairs (the dense-population
-    /// advantage the per-pair parallel scan trades away).
-    fn run_sequential(&self, horizon: u64, mut pending: Vec<(usize, usize)>) -> MeetingReport {
-        const BLOCK: usize = 512;
-        let n = self.agents.len();
-        let mut first_meeting = HashMap::new();
-        // How many pending pairs each agent participates in — agents at
-        // zero (disjoint sets, or all their pairs already met) skip the
-        // block fill entirely.
-        let mut pending_pairs = vec![0usize; n];
-        for &(i, j) in &pending {
-            pending_pairs[i] += 1;
-            pending_pairs[j] += 1;
-        }
-        let mut bufs: Vec<Vec<u64>> = vec![vec![0u64; BLOCK]; n];
-        let mut block_start = 0u64;
-        while block_start < horizon && !pending.is_empty() {
-            let len = (horizon - block_start).min(BLOCK as u64) as usize;
-            let block_end = block_start + len as u64;
-            for ((agent, buf), &in_play) in
-                self.agents.iter().zip(bufs.iter_mut()).zip(&pending_pairs)
-            {
-                if in_play == 0 {
-                    continue;
-                }
-                if agent.wake >= block_end {
-                    buf[..len].fill(0);
-                    continue;
-                }
-                let awake_from = agent.wake.max(block_start);
-                let lead = (awake_from - block_start) as usize;
-                buf[..lead].fill(0);
-                agent
-                    .schedule
-                    .fill_channels(awake_from - agent.wake, &mut buf[lead..len]);
+/// Largest spectrum the bucket scan regroups through channel-indexed
+/// counting buckets (`O(agents)` per slot); sparser spectra — e.g. the
+/// 2⁴⁰-channel coalition universe — fall back to sorting each slot's
+/// entries (`O(agents log agents)`).
+const COUNTING_BUCKET_MAX_CHANNEL: u64 = 1 << 16;
+
+/// Largest met-pair bitset (in `u64` words; 8 MiB) a bucket task clones
+/// as its within-task emission filter. A freshly met pair keeps
+/// co-occupying buckets for the rest of its block, so the filter is on
+/// the scan's hottest path — a bit probe beats a hash probe by an order
+/// of magnitude. Populations whose bitset exceeds the clone budget use a
+/// hash set instead.
+const LOCAL_FILTER_MAX_WORDS: usize = 1 << 20;
+
+/// Within-task dedup filter of the bucket scan: admits each pair at most
+/// once per task, and never a pair that already met in an earlier block.
+enum PairFilter<'a> {
+    /// A private clone of the met bitset; admitted pairs are marked
+    /// locally so repeats are rejected by the same probe.
+    Bits { local: Vec<u64> },
+    /// Shared met bitset plus a hash set of locally admitted pairs, for
+    /// populations whose bitset is too large to clone per task.
+    Hash {
+        met: &'a [u64],
+        seen: HashSet<(u32, u32)>,
+    },
+}
+
+impl<'a> PairFilter<'a> {
+    fn new(met: &'a [u64]) -> Self {
+        if met.len() <= LOCAL_FILTER_MAX_WORDS {
+            PairFilter::Bits {
+                local: met.to_vec(),
             }
-            pending.retain(|&(i, j)| {
-                let (bi, bj) = (&bufs[i], &bufs[j]);
-                for x in 0..len {
-                    let c = bi[x];
-                    if c != 0 && c == bj[x] {
-                        first_meeting.insert((i, j), block_start + x as u64);
-                        pending_pairs[i] -= 1;
-                        pending_pairs[j] -= 1;
-                        return false;
-                    }
-                }
-                true
-            });
-            block_start = block_end;
-        }
-        MeetingReport {
-            first_meeting,
-            missed: pending,
-            horizon,
+        } else {
+            PairFilter::Hash {
+                met,
+                seen: HashSet::new(),
+            }
         }
     }
+
+    /// Whether `(i, j)` is new to this task and unmet before the block.
+    fn admit(&mut self, i: u32, j: u32, n: usize) -> bool {
+        let bit = pair_bit(i as usize, j as usize, n);
+        match self {
+            PairFilter::Bits { local } => {
+                if test_bit(local, bit) {
+                    false
+                } else {
+                    set_bit(local, bit);
+                    true
+                }
+            }
+            PairFilter::Hash { met, seen } => !test_bit(met, bit) && seen.insert((i, j)),
+        }
+    }
+}
+
+/// The bucket resolve task: per slot of `slots`, groups the in-play
+/// agents' arena entries by channel and emits every co-bucketed pair not
+/// yet met (`met` filters pairs from earlier blocks, `seen` dedupes
+/// within the task, keeping the earliest slot since slots ascend).
+///
+/// The gather is agent-major — each agent's row is read sequentially —
+/// because reading the arena column-wise would take a cache miss per
+/// agent per slot. Grouping indexes straight into per-channel buckets
+/// when the spectrum is small enough to preallocate (the common
+/// population case) and sorts otherwise.
+fn bucket_scan(
+    arena: &[AtomicU64],
+    in_play: &[u32],
+    met: &[u64],
+    n: usize,
+    max_channel: u64,
+    slots: Range<usize>,
+    block_start: u64,
+) -> Vec<(u32, u32, u64)> {
+    // Exact-capacity rows: almost every in-play agent contributes to
+    // every slot, and letting the vectors grow geometrically instead was
+    // measurably the scan's biggest cost.
+    let mut per_slot: Vec<Vec<(u64, u32)>> = (0..slots.len())
+        .map(|_| Vec::with_capacity(in_play.len()))
+        .collect();
+    for &ai in in_play {
+        let row = &arena[ai as usize * BLOCK + slots.start..ai as usize * BLOCK + slots.end];
+        for (x, slot) in row.iter().enumerate() {
+            let c = slot.load(Ordering::Relaxed);
+            if c != 0 {
+                per_slot[x].push((c, ai));
+            }
+        }
+    }
+    let counting = max_channel <= COUNTING_BUCKET_MAX_CHANNEL;
+    let mut channel_bucket: Vec<Vec<u32>> = if counting {
+        vec![Vec::new(); max_channel as usize + 1]
+    } else {
+        Vec::new()
+    };
+    let mut touched: Vec<u64> = Vec::new();
+    let mut found = Vec::new();
+    let mut filter = PairFilter::new(met);
+    let mut emit = |group: &[u32], t: u64, found: &mut Vec<(u32, u32, u64)>| {
+        for (at, &i) in group.iter().enumerate() {
+            for &j in &group[at + 1..] {
+                // Groups are built in ascending agent order, so i < j.
+                if filter.admit(i, j, n) {
+                    found.push((i, j, t));
+                }
+            }
+        }
+    };
+    for (x, entries) in per_slot.iter_mut().enumerate() {
+        let t = block_start + (slots.start + x) as u64;
+        if counting {
+            for &(c, ai) in entries.iter() {
+                let bucket = &mut channel_bucket[c as usize];
+                if bucket.is_empty() {
+                    touched.push(c);
+                }
+                bucket.push(ai);
+            }
+            for &c in &touched {
+                let bucket = &mut channel_bucket[c as usize];
+                if bucket.len() >= 2 {
+                    emit(bucket, t, &mut found);
+                }
+                bucket.clear();
+            }
+            touched.clear();
+        } else {
+            entries.sort_unstable();
+            let mut lo = 0;
+            while lo < entries.len() {
+                let c = entries[lo].0;
+                let mut hi = lo + 1;
+                while hi < entries.len() && entries[hi].0 == c {
+                    hi += 1;
+                }
+                if hi - lo >= 2 {
+                    let group: Vec<u32> = entries[lo..hi].iter().map(|&(_, ai)| ai).collect();
+                    emit(&group, t, &mut found);
+                }
+                lo = hi;
+            }
+        }
+    }
+    found
 }
 
 #[cfg(test)]
@@ -238,6 +738,19 @@ mod tests {
             set,
             wake,
         }
+    }
+
+    fn staggered_population(
+        algos: &[Algorithm],
+        sets: &[&[u64]],
+        n: u64,
+        stride: u64,
+    ) -> Vec<Agent> {
+        sets.iter()
+            .zip(algos.iter().cycle())
+            .enumerate()
+            .map(|(i, (s, &algo))| agent(algo, n, s, (i as u64) * stride, i as u64))
+            .collect()
     }
 
     #[test]
@@ -270,7 +783,7 @@ mod tests {
         let b = agent(Algorithm::Ours, 8, &[3], 50, 1);
         let sim = Simulation::new(vec![a, b]);
         let report = sim.run(200);
-        let t = report.first_meeting[&(0, 1)];
+        let t = report.first_meeting.get(0, 1).unwrap();
         assert_eq!(t, 50, "constant channel agents meet the slot both awake");
         assert_eq!(report.ttr(0, 1, sim.agents()), Some(0));
     }
@@ -280,27 +793,19 @@ mod tests {
         // Five agents on a small universe; every overlapping pair must meet
         // within the Theorem 3 bound.
         let sets: [&[u64]; 5] = [&[1, 2], &[2, 3], &[3, 4], &[4, 5, 1], &[1, 3, 5]];
-        let agents: Vec<Agent> = sets
-            .iter()
-            .enumerate()
-            .map(|(i, s)| agent(Algorithm::Ours, 5, s, (i as u64) * 13, i as u64))
-            .collect();
+        let agents = staggered_population(&[Algorithm::Ours], &sets, 5, 13);
         let sim = Simulation::new(agents);
         let report = sim.run(1 << 16);
         assert!(report.all_met(), "missed: {:?}", report.missed);
     }
 
     #[test]
-    fn block_engine_matches_per_slot_reference() {
-        // The block/pair-major engine must agree exactly with a slot-by-slot
+    fn arena_engine_matches_per_slot_reference() {
+        // The arena engine must agree exactly with a slot-by-slot
         // reference over staggered wakes and a horizon that is not a
         // multiple of the block size.
         let sets: [&[u64]; 4] = [&[1, 2, 9], &[2, 5], &[5, 9, 11], &[1, 11]];
-        let agents: Vec<Agent> = sets
-            .iter()
-            .enumerate()
-            .map(|(i, s)| agent(Algorithm::Ours, 12, s, (i as u64) * 317, i as u64))
-            .collect();
+        let agents = staggered_population(&[Algorithm::Ours], &sets, 12, 317);
         let horizon = 2_777u64;
         let sim = Simulation::new(agents);
         let report = sim.run(horizon);
@@ -316,19 +821,16 @@ mod tests {
                         && agents[i].schedule.channel_at(t - agents[i].wake)
                             == agents[j].schedule.channel_at(t - agents[j].wake)
                 });
-                assert_eq!(
-                    report.first_meeting.get(&(i, j)).copied(),
-                    expected,
-                    "pair ({i},{j})"
-                );
+                assert_eq!(report.first_meeting.get(i, j), expected, "pair ({i},{j})");
             }
         }
     }
 
     #[test]
-    fn parallel_run_matches_sequential_exactly() {
+    fn every_mode_and_thread_count_matches() {
         // Mixed algorithms, staggered wakes, a horizon off the block
-        // boundary: every thread count must produce the identical report.
+        // boundary: every (mode × thread count) combination and the
+        // per-pair reference must produce the identical report.
         let sets: [&[u64]; 5] = [&[1, 2, 9], &[2, 5], &[5, 9, 11], &[1, 11], &[3, 4]];
         let algos = [
             Algorithm::Ours,
@@ -337,21 +839,76 @@ mod tests {
             Algorithm::Ours,
             Algorithm::Random,
         ];
-        let agents: Vec<Agent> = sets
-            .iter()
-            .zip(algos)
-            .enumerate()
-            .map(|(i, (s, algo))| agent(algo, 12, s, (i as u64) * 271, i as u64))
-            .collect();
+        let agents = staggered_population(&algos, &sets, 12, 271);
         let sim = Simulation::new(agents);
         let horizon = 3_333u64;
-        let sequential = sim.run_with(horizon, &crate::pool::ParallelConfig::with_threads(1));
-        for threads in [2usize, 4, 8] {
-            let parallel =
-                sim.run_with(horizon, &crate::pool::ParallelConfig::with_threads(threads));
-            assert_eq!(sequential, parallel, "threads = {threads}");
+        let baseline = sim.run_with(horizon, &ParallelConfig::with_threads(1));
+        for mode in [
+            ResolveMode::Auto,
+            ResolveMode::PairMajor,
+            ResolveMode::BucketScan,
+        ] {
+            for threads in [1usize, 2, 8] {
+                let cfg = EngineConfig {
+                    parallel: ParallelConfig::with_threads(threads),
+                    mode,
+                };
+                assert_eq!(
+                    baseline,
+                    sim.run_engine(horizon, &cfg),
+                    "mode = {mode:?}, threads = {threads}"
+                );
+            }
         }
-        assert_eq!(sequential, sim.run(horizon));
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                baseline,
+                sim.run_per_pair_reference(horizon, &ParallelConfig::with_threads(threads)),
+                "per-pair reference at {threads} threads"
+            );
+        }
+        assert_eq!(baseline, sim.run(horizon));
+    }
+
+    #[test]
+    fn indexed_overlap_matches_nested_scan() {
+        // A population pushed over the inverted-index threshold must
+        // produce the same pair list as the nested reference.
+        let mut agents = Vec::new();
+        for i in 0..300u64 {
+            let c1 = 1 + (i * 7) % 23;
+            let c2 = 1 + (i * 13) % 23;
+            let set: Vec<u64> = if c1 == c2 { vec![c1] } else { vec![c1, c2] };
+            agents.push(agent(Algorithm::Ours, 23, &set, 0, i));
+        }
+        let sim = Simulation::new(agents);
+        assert!(sim.agents().len() >= INDEXED_OVERLAP_MIN_AGENTS);
+        let indexed = sim.overlapping_pairs();
+        let mut nested = Vec::new();
+        for i in 0..sim.agents().len() {
+            for j in i + 1..sim.agents().len() {
+                if sim.agents()[i].set.overlaps(&sim.agents()[j].set) {
+                    nested.push((i, j));
+                }
+            }
+        }
+        assert_eq!(indexed, nested);
+    }
+
+    #[test]
+    fn meeting_map_accessors() {
+        let map = MeetingMap::from_entries(vec![((2, 5), 40), ((0, 1), 7)]);
+        assert_eq!(map.get(0, 1), Some(7));
+        assert_eq!(map.get(1, 0), Some(7));
+        assert_eq!(map.get(5, 2), Some(40));
+        assert_eq!(map.get(0, 2), None);
+        assert!(map.contains(2, 5));
+        assert_eq!(map.len(), 2);
+        assert!(!map.is_empty());
+        // Iteration is sorted regardless of insertion order.
+        let pairs: Vec<(usize, usize)> = map.iter().map(|(p, _)| p).collect();
+        assert_eq!(pairs, vec![(0, 1), (2, 5)]);
+        assert_eq!(map.as_slice(), &[((0, 1), 7), ((2, 5), 40)]);
     }
 
     #[test]
@@ -362,6 +919,10 @@ mod tests {
         let report = sim.run(1);
         // With a 1-slot horizon the pair may or may not have met; report
         // must be internally consistent either way.
-        assert_eq!(report.all_met(), report.first_meeting.contains_key(&(0, 1)));
+        assert_eq!(report.all_met(), report.first_meeting.contains(0, 1));
+        // A zero horizon reports every pair missed.
+        let empty = sim.run(0);
+        assert!(empty.first_meeting.is_empty());
+        assert_eq!(empty.missed, vec![(0, 1)]);
     }
 }

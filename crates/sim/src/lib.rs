@@ -7,10 +7,13 @@
 //! * [`workload`] — scenario generators: adversarial overlap-one pairs,
 //!   random `k`-subsets, clustered spectrum, coalition (tiny sets in a huge
 //!   universe), symmetric.
-//! * [`engine`] — the multi-agent slot-by-slot simulator with wake times
-//!   and first-meeting detection.
+//! * [`engine`] — the multi-agent simulator: a shared-arena engine that
+//!   fills each agent's schedule once per block and resolves all pending
+//!   pairs over the shared arena, with a density-adaptive bucket-scan
+//!   resolution mode for dense populations.
 //! * [`pool`] — the work-stealing parallel orchestrator: deterministic
-//!   task-indexed sharding over the vendored crossbeam deques, with
+//!   task-indexed sharding over the vendored crossbeam deques, plus the
+//!   scoped two-phase/barrier bulk API behind the arena engine, with
 //!   bit-identical results at every thread count.
 //! * [`sweep`] — pairwise worst/mean time-to-rendezvous sweeps over shifts
 //!   and seeds, sharded onto [`pool`].
@@ -29,6 +32,6 @@ pub mod sweep;
 pub mod workload;
 
 pub use algo::Algorithm;
-pub use engine::{MeetingReport, Simulation};
+pub use engine::{EngineConfig, MeetingMap, MeetingReport, ResolveMode, Simulation};
 pub use pool::ParallelConfig;
 pub use sweep::{sweep_pair_ttr, PairSweep, SweepConfig, SweepError};

@@ -24,6 +24,7 @@
 //!   function of *which* task, never of *where* or *when* it ran.
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Thread-count policy for the parallel orchestrator.
 ///
@@ -56,6 +57,23 @@ impl ParallelConfig {
     }
 }
 
+/// Task-chunk size for sharding `items` uniform work items across
+/// `threads` workers.
+///
+/// Aims at roughly four chunks per worker: fine enough that the
+/// work-stealing deques can rebalance an uneven tail, coarse enough to
+/// amortize queue traffic and per-task bookkeeping over many items. The
+/// result is clamped to `[1, 4096]` so tiny inputs still form tasks and
+/// huge inputs cannot collapse into a handful of unstealable chunks.
+///
+/// This is the one chunking policy of the workspace: pair lists, agent
+/// lists, and slot ranges are all sharded through it, replacing the
+/// former fixed pairs-per-task constant that over-fragmented large
+/// populations and under-split small ones.
+pub fn chunk_size(items: usize, threads: usize) -> usize {
+    items.div_ceil(threads.max(1) * 4).clamp(1, 4096)
+}
+
 /// Derives the RNG stream seed of task `task_index` within experiment
 /// `base` — the SplitMix64 finalizer over the pair, as recommended for
 /// splitting one seed into independent streams.
@@ -71,6 +89,71 @@ pub fn stream_seed(base: u64, task_index: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// One round of the work-stealing discipline: the worker's own deque,
+/// then a batch refill from the injector, then robbing a sibling,
+/// retrying lost races. Returns `None` only when every queue was
+/// observed empty with no steal in flight — at which point any remaining
+/// task is already in some worker's hands and will be finished by it.
+fn find_task<T>(
+    me: usize,
+    worker: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+) -> Option<T> {
+    worker.pop().or_else(|| 'find: loop {
+        match injector.steal_batch_and_pop(worker) {
+            Steal::Success(t) => break 'find Some(t),
+            Steal::Retry => continue 'find,
+            Steal::Empty => {}
+        }
+        let mut retry = false;
+        for (other, stealer) in stealers.iter().enumerate() {
+            if other == me {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(t) => break 'find Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            break 'find None;
+        }
+    })
+}
+
+/// A panic-safe barrier arrival: the worker announces phase completion
+/// through [`Self::arrive`]; if it unwinds first, `Drop` announces for it
+/// so siblings spinning on the arrival count are released instead of
+/// deadlocking (the panic then propagates at scope join).
+struct Arrival<'a> {
+    arrivals: &'a AtomicUsize,
+    armed: bool,
+}
+
+impl<'a> Arrival<'a> {
+    fn new(arrivals: &'a AtomicUsize) -> Self {
+        Arrival {
+            arrivals,
+            armed: true,
+        }
+    }
+
+    fn arrive(&mut self) {
+        if self.armed {
+            self.armed = false;
+            self.arrivals.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+impl Drop for Arrival<'_> {
+    fn drop(&mut self) {
+        self.arrive();
+    }
 }
 
 /// Runs `f` over every `(index, task)` on a work-stealing thread pool and
@@ -121,36 +204,8 @@ where
             .map(|(me, worker)| {
                 scope.spawn(move |_| {
                     let mut out: Vec<(usize, R)> = Vec::with_capacity(n_tasks / threads + 1);
-                    loop {
-                        let task = worker.pop().or_else(|| {
-                            // Local deque dry: refill from the injector,
-                            // then rob a sibling, retrying lost races.
-                            'find: loop {
-                                match injector.steal_batch_and_pop(&worker) {
-                                    Steal::Success(t) => break 'find Some(t),
-                                    Steal::Retry => continue 'find,
-                                    Steal::Empty => {}
-                                }
-                                let mut retry = false;
-                                for (other, stealer) in stealers.iter().enumerate() {
-                                    if other == me {
-                                        continue;
-                                    }
-                                    match stealer.steal() {
-                                        Steal::Success(t) => break 'find Some(t),
-                                        Steal::Retry => retry = true,
-                                        Steal::Empty => {}
-                                    }
-                                }
-                                if !retry {
-                                    break 'find None;
-                                }
-                            }
-                        });
-                        match task {
-                            Some((i, t)) => out.push((i, f(i, t))),
-                            None => break,
-                        }
+                    while let Some((i, t)) = find_task(me, &worker, injector, stealers) {
+                        out.push((i, f(i, t)));
                     }
                     out
                 })
@@ -164,6 +219,115 @@ where
     .expect("crossbeam scope");
 
     debug_assert_eq!(indexed.len(), n_tasks, "orchestrator lost tasks");
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The scoped two-phase bulk step of the shared-arena engines: runs every
+/// `phase_a` task, waits at a **barrier** until all of them have finished
+/// on every worker, then runs every `phase_b` task and returns the
+/// phase-b results in task order.
+///
+/// Both phases are sharded work-stealing style (same discipline as
+/// [`run_indexed`]), but on **one** set of worker threads spawned once —
+/// the barrier is an atomic arrival count, not a join — so a caller
+/// iterating fill/resolve steps per block pays one spawn per block, not
+/// two. The intended shape is a producer/consumer pair over shared
+/// memory: `a` publishes into a shared structure (e.g. relaxed stores
+/// into an `AtomicU64` arena), `b` reads it; the barrier's release/acquire
+/// ordering makes every phase-a write visible to every phase-b task.
+///
+/// `phase_a` and `phase_b` are independent task lists — their lengths
+/// need not match. With one effective thread both phases run inline
+/// sequentially, which is the reference semantics the parallel runs are
+/// tested against.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the task panic propagates at scope join; a
+/// phase-a panic releases the barrier via a drop guard rather than
+/// deadlocking the siblings).
+pub fn run_two_phase<TA, TB, R, FA, FB>(
+    cfg: &ParallelConfig,
+    phase_a: Vec<TA>,
+    phase_b: Vec<TB>,
+    a: FA,
+    b: FB,
+) -> Vec<R>
+where
+    TA: Send,
+    TB: Send,
+    R: Send,
+    FA: Fn(usize, TA) + Sync,
+    FB: Fn(usize, TB) -> R + Sync,
+{
+    let (n_a, n_b) = (phase_a.len(), phase_b.len());
+    let threads = cfg.effective_threads(n_a.max(n_b));
+    if threads <= 1 {
+        for (i, t) in phase_a.into_iter().enumerate() {
+            a(i, t);
+        }
+        return phase_b
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| b(i, t))
+            .collect();
+    }
+
+    let inj_a = Injector::new();
+    for task in phase_a.into_iter().enumerate() {
+        inj_a.push(task);
+    }
+    let inj_b = Injector::new();
+    for task in phase_b.into_iter().enumerate() {
+        inj_b.push(task);
+    }
+    let workers_a: Vec<Worker<(usize, TA)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers_a: Vec<Stealer<(usize, TA)>> = workers_a.iter().map(Worker::stealer).collect();
+    let workers_b: Vec<Worker<(usize, TB)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers_b: Vec<Stealer<(usize, TB)>> = workers_b.iter().map(Worker::stealer).collect();
+    let arrivals = AtomicUsize::new(0);
+
+    let mut indexed: Vec<(usize, R)> = crossbeam::scope(|scope| {
+        let (inj_a, inj_b) = (&inj_a, &inj_b);
+        let (stealers_a, stealers_b) = (&stealers_a, &stealers_b);
+        let arrivals = &arrivals;
+        let (a, b) = (&a, &b);
+        let handles: Vec<_> = workers_a
+            .into_iter()
+            .zip(workers_b)
+            .enumerate()
+            .map(|(me, (wa, wb))| {
+                scope.spawn(move |_| {
+                    let mut arrival = Arrival::new(arrivals);
+                    while let Some((i, t)) = find_task(me, &wa, inj_a, stealers_a) {
+                        a(i, t);
+                    }
+                    // A worker arrives only once its own deque is drained
+                    // and it holds no task, so `arrivals == threads`
+                    // certifies every phase-a task has completed. Phase a
+                    // steps are short (one block of bulk work), so a
+                    // yielding spin outlasts nothing worth parking for.
+                    arrival.arrive();
+                    while arrivals.load(Ordering::Acquire) < threads {
+                        std::thread::yield_now();
+                    }
+                    let mut out: Vec<(usize, R)> = Vec::with_capacity(n_b / threads + 1);
+                    while let Some((i, t)) = find_task(me, &wb, inj_b, stealers_b) {
+                        out.push((i, b(i, t)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("two-phase worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    debug_assert_eq!(indexed.len(), n_b, "two-phase orchestrator lost tasks");
     indexed.sort_unstable_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()
 }
@@ -234,6 +398,89 @@ mod tests {
         assert_eq!(ParallelConfig::with_threads(2).effective_threads(100), 2);
         assert_eq!(ParallelConfig::with_threads(5).effective_threads(0), 1);
         assert!(ParallelConfig::default().effective_threads(100) >= 1);
+    }
+
+    #[test]
+    fn chunk_size_targets_four_chunks_per_worker() {
+        assert_eq!(chunk_size(0, 8), 1);
+        assert_eq!(chunk_size(1, 8), 1);
+        assert_eq!(chunk_size(64, 2), 8);
+        assert_eq!(chunk_size(37_000, 8), 1157);
+        // Huge inputs stay stealable…
+        assert_eq!(chunk_size(10_000_000, 8), 4096);
+        // …and a zero thread count cannot divide by zero.
+        assert_eq!(chunk_size(100, 0), 25);
+    }
+
+    #[test]
+    fn two_phase_sees_every_fill_before_any_resolve() {
+        use std::sync::atomic::AtomicU64;
+        // Phase a publishes i+1 into cell i; phase b tasks each read the
+        // whole arena. The barrier guarantees no resolve observes a hole.
+        for threads in [1usize, 2, 8] {
+            let cells: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+            let fills: Vec<usize> = (0..cells.len()).collect();
+            let reads: Vec<usize> = (0..33).collect();
+            let sums = run_two_phase(
+                &ParallelConfig::with_threads(threads),
+                fills,
+                reads,
+                |i, cell| {
+                    assert_eq!(i, cell);
+                    cells[cell].store(cell as u64 + 1, Ordering::Relaxed);
+                },
+                |_i, _t| {
+                    cells
+                        .iter()
+                        .map(|c| {
+                            let v = c.load(Ordering::Relaxed);
+                            assert_ne!(v, 0, "resolve observed an unfilled cell");
+                            v
+                        })
+                        .sum::<u64>()
+                },
+            );
+            let expected = (cells.len() as u64) * (cells.len() as u64 + 1) / 2;
+            assert_eq!(sums, vec![expected; 33], "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn two_phase_results_come_back_in_order() {
+        for threads in [1usize, 2, 8] {
+            let out = run_two_phase(
+                &ParallelConfig::with_threads(threads),
+                vec![(); 5],
+                (0..257u64).collect(),
+                |_, ()| {},
+                |i, t| {
+                    assert_eq!(i as u64, t);
+                    t * 3
+                },
+            );
+            let expected: Vec<u64> = (0..257).map(|t| t * 3).collect();
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn two_phase_empty_phases() {
+        let none: Vec<u64> = run_two_phase(
+            &ParallelConfig::with_threads(4),
+            vec![1u64, 2, 3],
+            vec![],
+            |_, _| {},
+            |_, t: u64| t,
+        );
+        assert!(none.is_empty());
+        let only_b = run_two_phase(
+            &ParallelConfig::with_threads(4),
+            Vec::<u64>::new(),
+            vec![9u64],
+            |_, _| {},
+            |_, t| t + 1,
+        );
+        assert_eq!(only_b, vec![10]);
     }
 
     #[test]

@@ -84,6 +84,19 @@ pub enum SweepError {
         /// How many samples failed.
         failures: usize,
     },
+    /// Scenario parameters that can never produce a valid scenario
+    /// (caught before any sampling).
+    InvalidScenario {
+        /// What the generator requires.
+        reason: &'static str,
+    },
+    /// A randomized scenario sampler exceeded its retry budget — the
+    /// typed replacement for the unbounded resampling loops that could
+    /// spin forever on near-infeasible parameters.
+    SamplingExhausted {
+        /// Draws attempted before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -101,6 +114,12 @@ impl fmt::Display for SweepError {
             }
             SweepError::NoSamples { failures } => {
                 write!(f, "all {failures} samples missed the horizon")
+            }
+            SweepError::InvalidScenario { reason } => {
+                write!(f, "invalid scenario parameters: {reason}")
+            }
+            SweepError::SamplingExhausted { attempts } => {
+                write!(f, "scenario sampler gave up after {attempts} draws")
             }
         }
     }

@@ -1,10 +1,13 @@
 //! Scenario generators.
 
+use crate::algo::{AgentCtx, Algorithm};
+use crate::engine::Agent;
 use crate::sweep::SweepError;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rdv_core::channel::ChannelSet;
+use std::collections::HashSet;
 
 /// A pair of channel sets to be rendezvoused.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,41 +93,91 @@ pub fn symmetric_pair(n: u64, k: usize, seed: u64) -> Option<PairScenario> {
 /// (`n` in the millions) with two small sets sharing a designated band.
 ///
 /// `band` channels around the middle of the spectrum are common; each set
-/// additionally gets `k − band` private channels scattered by seed.
+/// additionally gets `k − band` private channels scattered by seed, with
+/// the two private pools kept disjoint so exactly the band is shared.
 ///
-/// Returns `None` if the parameters do not fit (`band > k`, or universe too
-/// small).
-pub fn coalition_pair(n: u64, k: usize, band: usize, seed: u64) -> Option<PairScenario> {
-    if band > k || (2 * k) as u64 > n || band == 0 {
-        return None;
+/// Private channels are drawn through a set-based rejection sampler
+/// (`O(1)` membership instead of the former `Vec::contains` probes, which
+/// made sampling `O(k²)`), and both sides draw against one `taken` set so
+/// disjointness holds by construction — the former resample-until-disjoint
+/// loop, which could spin indefinitely at large `k/n` ratios, is gone.
+/// When the private pools would fill a quarter or more of the usable
+/// spectrum, the sampler switches to an exact shuffle of the (then small)
+/// usable range, so every feasible parameter set terminates.
+///
+/// # Errors
+///
+/// * [`SweepError::InvalidScenario`] if `band == 0`, `band > k`, or
+///   `2k > n`;
+/// * [`SweepError::SamplingExhausted`] if the (bounded) rejection sampler
+///   runs out of attempts — astronomically unlikely for feasible
+///   parameters, but typed rather than a hang.
+pub fn coalition_pair(
+    n: u64,
+    k: usize,
+    band: usize,
+    seed: u64,
+) -> Result<PairScenario, SweepError> {
+    if band == 0 || band > k || (2 * k) as u64 > n {
+        return Err(SweepError::InvalidScenario {
+            reason: "coalition needs 0 < band ≤ k and 2k ≤ n",
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mid = n / 2;
-    let shared: Vec<u64> = (0..band as u64).map(|i| mid + i).collect();
-    let mut sample_private = |avoid_lo: u64, avoid_hi: u64| -> Vec<u64> {
-        let mut out = Vec::new();
-        while out.len() < k - band {
-            let c = rng.gen_range(1..=n);
-            if (c < avoid_lo || c > avoid_hi) && !out.contains(&c) {
-                out.push(c);
+    // The avoided region is mid..=mid+band (one more than the shared
+    // band, matching the original geometry).
+    let band_hi = mid + band as u64;
+    let private_per_side = k - band;
+    // `2k ≤ n` and `band ≥ 1` guarantee the spectrum outside the avoided
+    // region can host both private pools: 2(k − band) ≤ n − 2band ≤
+    // n − band − 1 = usable.
+    let usable = n - (band_hi - mid + 1);
+    debug_assert!((2 * private_per_side) as u64 <= usable);
+    let (pa, pb): (Vec<u64>, Vec<u64>) = if (4 * private_per_side) as u64 >= usable {
+        // Dense regime: the usable spectrum is at most 4 pools wide, so
+        // materialize and shuffle it exactly — no retries possible.
+        let mut u: Vec<u64> = (1..=n).filter(|&c| !(mid..=band_hi).contains(&c)).collect();
+        u.shuffle(&mut rng);
+        let pa = u[..private_per_side].to_vec();
+        let pb = u[private_per_side..2 * private_per_side].to_vec();
+        (pa, pb)
+    } else {
+        // Sparse regime (the intended huge-universe case): rejection
+        // sampling with set membership, against a single `taken` set so
+        // the two sides stay disjoint. Each draw succeeds with
+        // probability > 1/2, so the budget below fails with probability
+        // < 2^-64 per needed channel.
+        let budget = 64 + 64 * (2 * private_per_side) as u32;
+        let mut taken: HashSet<u64> = HashSet::new();
+        let mut attempts = 0u32;
+        let sample_pool = |rng: &mut StdRng,
+                           taken: &mut HashSet<u64>,
+                           attempts: &mut u32|
+         -> Result<Vec<u64>, SweepError> {
+            let mut out = Vec::with_capacity(private_per_side);
+            while out.len() < private_per_side {
+                if *attempts >= budget {
+                    return Err(SweepError::SamplingExhausted {
+                        attempts: *attempts,
+                    });
+                }
+                *attempts += 1;
+                let c = rng.gen_range(1..=n);
+                if !(mid..=band_hi).contains(&c) && taken.insert(c) {
+                    out.push(c);
+                }
             }
-        }
-        out
+            Ok(out)
+        };
+        let pa = sample_pool(&mut rng, &mut taken, &mut attempts)?;
+        let pb = sample_pool(&mut rng, &mut taken, &mut attempts)?;
+        (pa, pb)
     };
-    let pa: Vec<u64> = sample_private(mid, mid + band as u64);
-    let pb: Vec<u64> = {
-        let mut v;
-        loop {
-            v = sample_private(mid, mid + band as u64);
-            if v.iter().all(|c| !pa.contains(c)) {
-                break;
-            }
-        }
-        v
-    };
-    let a = ChannelSet::new(shared.iter().copied().chain(pa)).ok()?;
-    let b = ChannelSet::new(shared.iter().copied().chain(pb)).ok()?;
-    Some(PairScenario { a, b })
+    let shared = (0..band as u64).map(|i| mid + i);
+    let a = ChannelSet::new(shared.clone().chain(pa)).map_err(SweepError::InvalidSet)?;
+    let b = ChannelSet::new(shared.chain(pb)).map_err(SweepError::InvalidSet)?;
+    Ok(PairScenario { a, b })
 }
 
 /// A clustered-spectrum population: `count` agents, each owning a
@@ -140,9 +193,47 @@ pub fn clustered_population(n: u64, k: usize, count: usize, seed: u64) -> Vec<Ch
         .collect()
 }
 
+/// A ready-to-simulate clustered population: [`clustered_population`]
+/// channel sets turned into agents running `algo`, with wake slots
+/// staggered over `[0, max_wake)` — the standard multi-user workload of
+/// the engine benches and the `BENCH_multiuser.json` report.
+///
+/// # Panics
+///
+/// Panics if the parameters do not fit the universe (`k > n`) or the
+/// algorithm cannot be instantiated on a generated set.
+pub fn clustered_agents(
+    algo: Algorithm,
+    n: u64,
+    k: usize,
+    count: usize,
+    seed: u64,
+    max_wake: u64,
+) -> Vec<Agent> {
+    clustered_population(n, k, count, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, set)| {
+            let ctx = AgentCtx {
+                wake: (i as u64).wrapping_mul(37) % max_wake.max(1),
+                agent_seed: i as u64,
+                shared_seed: seed,
+            };
+            Agent {
+                schedule: algo
+                    .make(n, &set, &ctx)
+                    .unwrap_or_else(|| panic!("{algo} cannot be instantiated at n={n}, k={k}")),
+                set,
+                wake: ctx.wake,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rdv_core::schedule::Schedule;
 
     #[test]
     fn adversarial_geometry() {
@@ -178,6 +269,22 @@ mod tests {
         assert_eq!(s.b.len(), 5);
         let common = s.a.intersection(&s.b);
         assert_eq!(common.len(), 2, "exactly the band is shared");
+        // Determinism: the same seed reproduces the scenario.
+        assert_eq!(s, coalition_pair(1 << 20, 5, 2, 11).unwrap());
+        assert_ne!(s, coalition_pair(1 << 20, 5, 2, 12).unwrap());
+    }
+
+    #[test]
+    fn coalition_dense_parameters_terminate_exactly() {
+        // 2k == n, the regime where the former resample-until-disjoint
+        // loop could spin: the exact shuffle path must succeed, with the
+        // band still the only shared channels.
+        for seed in 0..32 {
+            let s = coalition_pair(16, 8, 3, seed).expect("feasible dense coalition");
+            assert_eq!(s.a.len(), 8);
+            assert_eq!(s.b.len(), 8);
+            assert_eq!(s.a.intersection(&s.b).len(), 3, "seed {seed}");
+        }
     }
 
     #[test]
@@ -194,8 +301,24 @@ mod tests {
     #[test]
     fn degenerate_parameters_rejected() {
         assert!(random_overlapping_pair(3, 5, 2, 0).is_none());
-        assert!(coalition_pair(10, 3, 4, 0).is_none());
-        assert!(coalition_pair(10, 3, 0, 0).is_none());
+        // band > k, band == 0, 2k > n: typed parameter errors.
+        for (n, k, band) in [(10, 3, 4), (10, 3, 0), (10, 6, 2)] {
+            assert!(matches!(
+                coalition_pair(n, k, band, 0),
+                Err(SweepError::InvalidScenario { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn clustered_agents_build_and_stagger() {
+        let agents = clustered_agents(Algorithm::Ours, 64, 4, 10, 3, 100);
+        assert_eq!(agents.len(), 10);
+        assert!(agents.iter().all(|a| a.wake < 100));
+        assert!(agents.iter().any(|a| a.wake != 0));
+        for a in &agents {
+            assert!(a.set.contains(a.schedule.channel_at(0).get()));
+        }
     }
 
     #[test]

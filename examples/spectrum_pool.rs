@@ -39,8 +39,8 @@ fn run(algo: Algorithm, n: u64, sets: &[ChannelSet]) -> (usize, usize, u64, f64)
     let missed = report.missed.len();
     let ttrs: Vec<u64> = report
         .first_meeting
-        .keys()
-        .filter_map(|&(i, j)| report.ttr(i, j, sim.agents()))
+        .iter()
+        .filter_map(|((i, j), _)| report.ttr(i, j, sim.agents()))
         .collect();
     let max = ttrs.iter().copied().max().unwrap_or(0);
     let mean = if ttrs.is_empty() {

@@ -1,32 +1,77 @@
-//! Emits `BENCH_kernel.json`: machine-readable slots/sec of the naive
-//! per-slot TTR path vs the block-compiled kernel, so successive PRs can
-//! track the measurement engine's perf trajectory.
+//! Emits the machine-readable perf reports tracked across PRs and gated
+//! in CI:
+//!
+//! * **`BENCH_kernel.json`** — slots/sec of the naive per-slot TTR path
+//!   vs the block-compiled kernel on the worst-case exhaustive shift
+//!   sweep (`verify::worst_async_ttr_exhaustive`).
+//! * **`BENCH_multiuser.json`** — pair-slots/sec of the shared-arena
+//!   multi-user engine vs the seed per-pair engine on clustered
+//!   populations from 64 to 10k agents.
 //!
 //! ```text
-//! cargo run --release --bin bench_report [output-path] \
-//!     [--baseline BENCH_kernel.json] [--max-regression-pct 30]
+//! cargo run --release --bin bench_report -- \
+//!     [--suite kernel|multiuser|all] [--out-dir DIR] [--smoke] \
+//!     [--baseline FILE]... [--max-regression-pct 30] [--min-arena-speedup X]
 //! ```
 //!
-//! With `--baseline`, the freshly measured block-kernel throughput is
-//! diffed per scenario against the committed baseline and the process
-//! exits non-zero on a regression beyond the tolerance (default 30%,
-//! chosen to ride out shared-runner noise) — the CI perf gate.
-//!
-//! The workload is the worst-case exhaustive shift sweep
-//! (`verify::worst_async_ttr_exhaustive`) on the adversarial overlap-one
-//! scenario with `|A| = |B| = 4`, at `n ∈ {16, 64, 256}`. "Slots" counts
-//! the schedule evaluations the sweep semantically performs (`ttr + 1`
-//! slots per direction per shift) — identical for both paths, since the
-//! kernels are bit-equivalent — so slots/sec is directly comparable.
+//! `--baseline` may be given multiple times; each file names its suite
+//! through its `bench` field and is diffed against the freshly measured
+//! suite of the same name, the process exiting non-zero on any
+//! throughput regression beyond the tolerance (default 30%, sized to
+//! ride out shared-runner noise) — the CI perf gate. `--smoke` trims
+//! repetitions for CI; the workloads are identical, so smoke runs gate
+//! against full-tier baselines. `--min-arena-speedup` additionally fails
+//! the gate if the dense-population arena-vs-per-pair speedup falls
+//! below the given factor.
 
 use blind_rendezvous::core::general::GeneralSchedule;
 use blind_rendezvous::core::verify;
 use rdv_core::schedule::Schedule;
-use rdv_sim::workload;
+use rdv_sim::engine::{EngineConfig, MeetingReport, ResolveMode, Simulation};
+use rdv_sim::{workload, Algorithm, ParallelConfig};
 use serde_json::Value;
 use std::time::Instant;
 
-struct Cell {
+/// Mean seconds per call: one warm-up, then at least `min_reps` reps and
+/// `min_secs` of wall clock.
+fn time_reps<F: FnMut()>(mut f: F, min_secs: f64, min_reps: u32) -> f64 {
+    f();
+    let mut reps = 0u32;
+    let start = Instant::now();
+    loop {
+        f();
+        reps += 1;
+        if start.elapsed().as_secs_f64() > min_secs && reps >= min_reps {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+/// One timed call, no warm-up — for the population sizes where a single
+/// run is seconds long and deterministic enough.
+fn time_once<F: FnOnce()>(f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+/// A freshly measured suite plus the `(key, throughput)` points its
+/// baseline gate compares.
+struct Suite {
+    /// The `bench` id written into (and matched against) report files.
+    bench: &'static str,
+    /// Output file name within `--out-dir`.
+    file: &'static str,
+    /// Human label of the gate key column (`n`, `n_agents`).
+    key_label: &'static str,
+    report: Value,
+    gate_points: Vec<(u64, f64)>,
+}
+
+// ---------------------------------------------------------------- kernel
+
+struct KernelCell {
     n: u64,
     swept_slots: u64,
     naive_slots_per_sec: f64,
@@ -34,22 +79,7 @@ struct Cell {
     speedup: f64,
 }
 
-fn time_reps<F: FnMut()>(mut f: F) -> f64 {
-    // One warm-up, then enough reps to pass ~0.2 s.
-    f();
-    let mut reps = 0u32;
-    let start = Instant::now();
-    loop {
-        f();
-        reps += 1;
-        if start.elapsed().as_secs_f64() > 0.2 && reps >= 3 {
-            break;
-        }
-    }
-    start.elapsed().as_secs_f64() / f64::from(reps)
-}
-
-fn measure(n: u64) -> Cell {
+fn measure_kernel(n: u64, smoke: bool) -> KernelCell {
     let k = 4usize;
     let sc = workload::adversarial_overlap_one(n, k, k).expect("parameters fit");
     let sa = GeneralSchedule::asynchronous(n, sc.a.clone()).expect("valid");
@@ -70,14 +100,23 @@ fn measure(n: u64) -> Cell {
     let block_result = verify::worst_async_ttr_exhaustive(&sa, &sb, horizon);
     assert_eq!(naive_result, block_result, "kernel mismatch at n={n}");
 
-    let naive_secs = time_reps(|| {
-        std::hint::black_box(verify::naive::worst_async_ttr_exhaustive(&sa, &sb, horizon));
-    });
-    let block_secs = time_reps(|| {
-        std::hint::black_box(verify::worst_async_ttr_exhaustive(&sa, &sb, horizon));
-    });
+    let (min_secs, min_reps) = if smoke { (0.05, 1) } else { (0.2, 3) };
+    let naive_secs = time_reps(
+        || {
+            std::hint::black_box(verify::naive::worst_async_ttr_exhaustive(&sa, &sb, horizon));
+        },
+        min_secs,
+        min_reps,
+    );
+    let block_secs = time_reps(
+        || {
+            std::hint::black_box(verify::worst_async_ttr_exhaustive(&sa, &sb, horizon));
+        },
+        min_secs,
+        min_reps,
+    );
 
-    Cell {
+    KernelCell {
         n,
         swept_slots,
         naive_slots_per_sec: swept_slots as f64 / naive_secs,
@@ -86,97 +125,12 @@ fn measure(n: u64) -> Cell {
     }
 }
 
-/// Per-n block-kernel throughputs of a report file.
-fn baseline_throughputs(path: &str) -> Vec<(u64, f64)> {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
-    let doc = serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
-    doc.get("scenarios")
-        .and_then(Value::as_array)
-        .unwrap_or_else(|| panic!("{path}: no scenarios array"))
-        .iter()
-        .map(|s| {
-            let n = s.get("n").and_then(Value::as_u64).expect("scenario n");
-            let rate = s
-                .get("block_slots_per_sec")
-                .and_then(Value::as_f64)
-                .expect("scenario block_slots_per_sec");
-            (n, rate)
-        })
-        .collect()
-}
-
-/// Diffs fresh cells against a baseline report; returns the regressions
-/// beyond `max_regression_pct`.
-fn diff_against_baseline(
-    cells: &[Cell],
-    baseline: &[(u64, f64)],
-    max_regression_pct: f64,
-) -> Vec<String> {
-    let mut regressions = Vec::new();
-    println!();
-    println!(
-        "{:<8}{:>16}{:>16}{:>10}",
-        "n", "baseline sl/s", "current sl/s", "delta"
-    );
-    for cell in cells {
-        let Some(&(_, base)) = baseline.iter().find(|&&(n, _)| n == cell.n) else {
-            println!(
-                "{:<8}{:>16}{:>16.0}{:>10}",
-                cell.n, "-", cell.block_slots_per_sec, "new"
-            );
-            continue;
-        };
-        let delta_pct = (cell.block_slots_per_sec / base - 1.0) * 100.0;
-        println!(
-            "{:<8}{:>16.0}{:>16.0}{:>9.1}%",
-            cell.n, base, cell.block_slots_per_sec, delta_pct
-        );
-        if delta_pct < -max_regression_pct {
-            regressions.push(format!(
-                "n={}: block kernel {:.0} slots/s vs baseline {:.0} ({:+.1}%, tolerance -{}%)",
-                cell.n, cell.block_slots_per_sec, base, delta_pct, max_regression_pct
-            ));
-        }
-    }
-    regressions
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    // A present flag with a missing (or flag-shaped) value is a hard error:
-    // silently ignoring it would turn the CI perf gate into a no-op.
-    let flag_value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .map(|i| match args.get(i + 1) {
-                Some(v) if !v.starts_with("--") => v.clone(),
-                _ => panic!("{name} requires a value"),
-            })
-    };
-    let baseline_path = flag_value("--baseline");
-    let max_regression_pct: f64 = flag_value("--max-regression-pct")
-        .map(|v| v.parse().expect("--max-regression-pct takes a number"))
-        .unwrap_or(30.0);
-    let mut skip_next = false;
-    let out_path = args
-        .iter()
-        .find(|a| {
-            if std::mem::take(&mut skip_next) {
-                return false;
-            }
-            if *a == "--baseline" || *a == "--max-regression-pct" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with("--")
-        })
-        .cloned()
-        .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+fn kernel_suite(smoke: bool) -> Suite {
     let mut cells = Vec::new();
     for n in [16u64, 64, 256] {
-        let cell = measure(n);
+        let cell = measure_kernel(n, smoke);
         println!(
-            "n={:<5} slots/sweep={:<10} naive={:>12.0} slots/s   block={:>14.0} slots/s   speedup={:.1}x",
+            "kernel    n={:<6} slots/sweep={:<10} naive={:>12.0} slots/s   block={:>14.0} slots/s   speedup={:.1}x",
             cell.n, cell.swept_slots, cell.naive_slots_per_sec, cell.block_slots_per_sec, cell.speedup
         );
         cells.push(cell);
@@ -206,20 +160,402 @@ fn main() {
             ),
         ),
     ]);
-    std::fs::write(&out_path, serde_json::to_string_pretty(&report) + "\n")
-        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
-    println!("wrote {out_path}");
+    Suite {
+        bench: "worst_async_ttr_exhaustive",
+        file: "BENCH_kernel.json",
+        key_label: "n",
+        gate_points: cells.iter().map(|c| (c.n, c.block_slots_per_sec)).collect(),
+        report,
+    }
+}
 
-    if let Some(baseline_path) = baseline_path {
-        let baseline = baseline_throughputs(&baseline_path);
-        let regressions = diff_against_baseline(&cells, &baseline, max_regression_pct);
-        if regressions.is_empty() {
-            println!("perf gate: within {max_regression_pct}% of {baseline_path}");
+// ------------------------------------------------------------- multiuser
+
+struct MultiuserCell {
+    n_agents: usize,
+    universe: u64,
+    k: usize,
+    horizon: u64,
+    overlapping_pairs: usize,
+    missed_pairs: usize,
+    pair_slots: u64,
+    arena_secs: f64,
+    arena_pair_slots_per_sec: f64,
+    per_pair_slots_per_sec: Option<f64>,
+    speedup: Option<f64>,
+}
+
+/// The semantic work of a run, identical for every engine: per
+/// overlapping pair, the slots from the later wake to its first meeting
+/// (inclusive) or to the horizon.
+fn pair_slots(sim: &Simulation, report: &MeetingReport) -> u64 {
+    let agents = sim.agents();
+    let start = |i: usize, j: usize| agents[i].wake.max(agents[j].wake).min(report.horizon);
+    let met: u64 = report
+        .first_meeting
+        .iter()
+        .map(|((i, j), t)| t - start(i, j) + 1)
+        .sum();
+    let missed: u64 = report
+        .missed
+        .iter()
+        .map(|&(i, j)| report.horizon - start(i, j))
+        .sum();
+    met + missed
+}
+
+fn measure_multiuser(
+    n_agents: usize,
+    universe: u64,
+    k: usize,
+    horizon: u64,
+    with_per_pair: bool,
+    smoke: bool,
+) -> MultiuserCell {
+    let agents = workload::clustered_agents(Algorithm::Ours, universe, k, n_agents, 11, 256);
+    let sim = Simulation::new(agents);
+    let auto = EngineConfig::default();
+    let report = sim.run_engine(horizon, &auto);
+    // Both resolution modes must agree before anything is timed.
+    for mode in [ResolveMode::PairMajor, ResolveMode::BucketScan] {
+        let forced = EngineConfig {
+            parallel: ParallelConfig::default(),
+            mode,
+        };
+        assert_eq!(
+            report,
+            sim.run_engine(horizon, &forced),
+            "arena modes diverged at n_agents={n_agents}"
+        );
+    }
+    let slots = pair_slots(&sim, &report);
+
+    let arena_secs = if with_per_pair {
+        let (min_secs, min_reps) = if smoke { (0.05, 1) } else { (0.2, 3) };
+        time_reps(
+            || {
+                std::hint::black_box(sim.run_engine(horizon, &auto));
+            },
+            min_secs,
+            min_reps,
+        )
+    } else {
+        // Large populations: one run is long and deterministic enough.
+        time_once(|| {
+            std::hint::black_box(sim.run_engine(horizon, &auto));
+        })
+    };
+
+    let per_pair_secs = with_per_pair.then(|| {
+        let cfg = ParallelConfig::default();
+        assert_eq!(
+            report,
+            sim.run_per_pair_reference(horizon, &cfg),
+            "per-pair engine diverged at n_agents={n_agents}"
+        );
+        if smoke {
+            time_once(|| {
+                std::hint::black_box(sim.run_per_pair_reference(horizon, &cfg));
+            })
         } else {
-            for r in &regressions {
-                eprintln!("PERF REGRESSION: {r}");
-            }
-            std::process::exit(1);
+            time_reps(
+                || {
+                    std::hint::black_box(sim.run_per_pair_reference(horizon, &cfg));
+                },
+                0.2,
+                2,
+            )
         }
+    });
+
+    MultiuserCell {
+        n_agents,
+        universe,
+        k,
+        horizon,
+        overlapping_pairs: report.first_meeting.len() + report.missed.len(),
+        missed_pairs: report.missed.len(),
+        pair_slots: slots,
+        arena_secs,
+        arena_pair_slots_per_sec: slots as f64 / arena_secs,
+        per_pair_slots_per_sec: per_pair_secs.map(|s| slots as f64 / s),
+        speedup: per_pair_secs.map(|s| s / arena_secs),
+    }
+}
+
+fn multiuser_suite(smoke: bool) -> Suite {
+    // Population ladder: universes scale with the population so density
+    // stays dense (dozens-to-hundreds of pending pairs per agent). The
+    // per-pair baseline is only timed where its quadratic fill bill is
+    // affordable; the 10k-agent cell is the CI-smoke-scale completion
+    // proof.
+    let grid: [(usize, u64, usize, u64, bool); 4] = [
+        (64, 64, 8, 1 << 12, true),
+        (512, 96, 24, 1 << 12, true),
+        (4096, 512, 32, 1 << 11, false),
+        (10_000, 1024, 64, 1 << 10, false),
+    ];
+    let mut cells = Vec::new();
+    for (n_agents, universe, k, horizon, with_per_pair) in grid {
+        let cell = measure_multiuser(n_agents, universe, k, horizon, with_per_pair, smoke);
+        match (cell.per_pair_slots_per_sec, cell.speedup) {
+            (Some(pp), Some(sp)) => println!(
+                "multiuser n={:<6} pairs={:<8} per-pair={:>12.0} ps/s   arena={:>14.0} ps/s   speedup={:.1}x",
+                cell.n_agents, cell.overlapping_pairs, pp, cell.arena_pair_slots_per_sec, sp
+            ),
+            _ => println!(
+                "multiuser n={:<6} pairs={:<8} arena={:>14.0} ps/s   ({:.2}s wall)",
+                cell.n_agents, cell.overlapping_pairs, cell.arena_pair_slots_per_sec, cell.arena_secs
+            ),
+        }
+        cells.push(cell);
+    }
+    let report = Value::object([
+        ("bench", Value::from("multiuser_arena_engine")),
+        (
+            "workload",
+            Value::from(
+                "clustered population (contiguous k-channel bands), GeneralSchedule (Thm 3), staggered wakes",
+            ),
+        ),
+        (
+            "unit",
+            Value::from("pair-slots resolved per second (per pair: later wake to first meeting or horizon)"),
+        ),
+        (
+            "scenarios",
+            Value::Array(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Value::object([
+                            ("n_agents", Value::from(c.n_agents)),
+                            ("universe", Value::from(c.universe)),
+                            ("k", Value::from(c.k)),
+                            ("horizon", Value::from(c.horizon)),
+                            ("overlapping_pairs", Value::from(c.overlapping_pairs)),
+                            ("missed_pairs", Value::from(c.missed_pairs)),
+                            ("pair_slots", Value::from(c.pair_slots)),
+                            ("arena_secs", Value::from(c.arena_secs)),
+                            (
+                                "arena_pair_slots_per_sec",
+                                Value::from(c.arena_pair_slots_per_sec),
+                            ),
+                            (
+                                "per_pair_slots_per_sec",
+                                c.per_pair_slots_per_sec.map(Value::from).unwrap_or(Value::Null),
+                            ),
+                            ("speedup", c.speedup.map(Value::from).unwrap_or(Value::Null)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Suite {
+        bench: "multiuser_arena_engine",
+        file: "BENCH_multiuser.json",
+        key_label: "n_agents",
+        gate_points: cells
+            .iter()
+            .map(|c| (c.n_agents as u64, c.arena_pair_slots_per_sec))
+            .collect(),
+        report,
+    }
+}
+
+// ------------------------------------------------------------------ gate
+
+/// Parses a baseline report into its `bench` id and `(key, throughput)`
+/// gate points, where the key column and throughput column are inferred
+/// from the `bench` id.
+fn baseline_points(path: &str) -> (String, Vec<(u64, f64)>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let doc: Value = serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+    let bench = doc
+        .get("bench")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("{path}: no bench id"))
+        .to_string();
+    let (key, rate) = match bench.as_str() {
+        "multiuser_arena_engine" => ("n_agents", "arena_pair_slots_per_sec"),
+        _ => ("n", "block_slots_per_sec"),
+    };
+    let points = doc
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("{path}: no scenarios array"))
+        .iter()
+        .map(|s| {
+            let k = s
+                .get(key)
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("{path}: scenario without {key}"));
+            let r = s
+                .get(rate)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("{path}: scenario without {rate}"));
+            (k, r)
+        })
+        .collect();
+    (bench, points)
+}
+
+/// Diffs a fresh suite against its baseline points; returns the
+/// regressions beyond `max_regression_pct`.
+fn diff_against_baseline(
+    suite: &Suite,
+    baseline: &[(u64, f64)],
+    max_regression_pct: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    println!();
+    println!(
+        "[{}] {:<10}{:>16}{:>16}{:>10}",
+        suite.bench, suite.key_label, "baseline", "current", "delta"
+    );
+    for &(key, current) in &suite.gate_points {
+        let Some(&(_, base)) = baseline.iter().find(|&&(k, _)| k == key) else {
+            println!("{:<10}{:>16}{:>16.0}{:>10}", key, "-", current, "new");
+            continue;
+        };
+        let delta_pct = (current / base - 1.0) * 100.0;
+        println!("{key:<10}{base:>16.0}{current:>16.0}{delta_pct:>9.1}%");
+        if delta_pct < -max_regression_pct {
+            regressions.push(format!(
+                "{} at {}={}: {:.0} vs baseline {:.0} ({:+.1}%, tolerance -{}%)",
+                suite.bench, suite.key_label, key, current, base, delta_pct, max_regression_pct
+            ));
+        }
+    }
+    regressions
+}
+
+/// The dense-population arena-vs-per-pair speedups of a multiuser suite,
+/// for the optional `--min-arena-speedup` gate. Only cells above the
+/// engine's own bucket crossover (`rdv_sim::engine::BUCKET_CROSSOVER`
+/// pending pairs per agent) are gated — below it the arena engine
+/// intentionally trades its fill sharing away and sparse cells document
+/// the crossover instead.
+fn arena_speedups(suite: &Suite) -> Vec<(u64, f64)> {
+    let Some(scenarios) = suite.report.get("scenarios").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    scenarios
+        .iter()
+        .filter_map(|s| {
+            let n = s.get("n_agents").and_then(Value::as_u64)?;
+            let pairs = s.get("overlapping_pairs").and_then(Value::as_u64)?;
+            let sp = s.get("speedup").and_then(Value::as_f64)?;
+            (pairs >= rdv_sim::engine::BUCKET_CROSSOVER as u64 * n).then_some((n, sp))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // A present flag with a missing (or flag-shaped) value, and any
+    // argument that is not a recognized flag, is a hard error: silently
+    // ignoring either would turn the CI perf gate into a no-op (e.g. a
+    // typoed `--min-arena-speed` would drop the speedup floor with a
+    // green exit).
+    const VALUE_FLAGS: [&str; 5] = [
+        "--baseline",
+        "--max-regression-pct",
+        "--min-arena-speedup",
+        "--suite",
+        "--out-dir",
+    ];
+    let mut expect_value = false;
+    for arg in &args {
+        if std::mem::take(&mut expect_value) {
+            continue;
+        }
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            expect_value = true;
+        } else if arg != "--smoke" {
+            panic!("unrecognized argument {arg} (see the module docs for the flag list)");
+        }
+    }
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => panic!("{name} requires a value"),
+            })
+    };
+    let baseline_paths: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(_, a)| a == "--baseline")
+        .map(|(i, _)| match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => v.clone(),
+            _ => panic!("--baseline requires a value"),
+        })
+        .collect();
+    let max_regression_pct: f64 = flag_value("--max-regression-pct")
+        .map(|v| v.parse().expect("--max-regression-pct takes a number"))
+        .unwrap_or(30.0);
+    let min_arena_speedup: Option<f64> = flag_value("--min-arena-speedup")
+        .map(|v| v.parse().expect("--min-arena-speedup takes a number"));
+    let suite_filter = flag_value("--suite").unwrap_or_else(|| "all".to_string());
+    let out_dir = flag_value("--out-dir").unwrap_or_else(|| ".".to_string());
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let mut suites = Vec::new();
+    if suite_filter == "kernel" || suite_filter == "all" {
+        suites.push(kernel_suite(smoke));
+    }
+    if suite_filter == "multiuser" || suite_filter == "all" {
+        suites.push(multiuser_suite(smoke));
+    }
+    if suites.is_empty() {
+        panic!("--suite takes kernel, multiuser, or all (got {suite_filter})");
+    }
+
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("creating {out_dir}: {e}"));
+    for suite in &suites {
+        let path = format!("{}/{}", out_dir.trim_end_matches('/'), suite.file);
+        std::fs::write(&path, serde_json::to_string_pretty(&suite.report) + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    for path in &baseline_paths {
+        let (bench, points) = baseline_points(path);
+        let Some(suite) = suites.iter().find(|s| s.bench == bench) else {
+            panic!("baseline {path} gates suite {bench}, which was not measured (see --suite)");
+        };
+        failures.extend(diff_against_baseline(suite, &points, max_regression_pct));
+    }
+    if let Some(min) = min_arena_speedup {
+        for suite in suites
+            .iter()
+            .filter(|s| s.bench == "multiuser_arena_engine")
+        {
+            for (n_agents, speedup) in arena_speedups(suite) {
+                println!("arena speedup at n_agents={n_agents}: {speedup:.1}x (floor {min}x)");
+                if speedup < min {
+                    failures.push(format!(
+                        "arena speedup {speedup:.1}x at n_agents={n_agents} below the {min}x floor"
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        if !baseline_paths.is_empty() {
+            println!(
+                "perf gate: within {max_regression_pct}% of {}",
+                baseline_paths.join(", ")
+            );
+        }
+    } else {
+        for f in &failures {
+            eprintln!("PERF REGRESSION: {f}");
+        }
+        std::process::exit(1);
     }
 }

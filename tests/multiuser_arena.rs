@@ -1,0 +1,125 @@
+//! Correctness contract of the shared-arena multi-user engine: on random
+//! populations with staggered wakes and off-block horizons, both
+//! resolution modes — pair-major and bucket scan — must reproduce a naive
+//! per-slot reference **bit-identically**, at 1, 2, and 8 worker threads.
+
+use blind_rendezvous::prelude::*;
+use proptest::prelude::*;
+use rdv_sim::algo::AgentCtx;
+use rdv_sim::engine::{Agent, EngineConfig, ResolveMode, Simulation};
+use rdv_sim::ParallelConfig;
+
+/// A random population description: per agent, a channel set (within a
+/// shared universe) and a wake slot.
+fn population() -> impl Strategy<Value = (u64, Vec<(Vec<u64>, u64)>)> {
+    (6u64..18).prop_flat_map(|n| {
+        let agent = (
+            proptest::collection::btree_set(1..=n, 1..=5),
+            0u64..700, // staggered wakes, some beyond whole blocks
+        )
+            .prop_map(|(set, wake)| (set.into_iter().collect::<Vec<u64>>(), wake));
+        (Just(n), proptest::collection::vec(agent, 2..9))
+    })
+}
+
+fn build(n: u64, spec: &[(Vec<u64>, u64)]) -> Vec<Agent> {
+    spec.iter()
+        .enumerate()
+        .map(|(i, (channels, wake))| {
+            let set = ChannelSet::new(channels.iter().copied()).expect("non-empty");
+            let ctx = AgentCtx {
+                wake: *wake,
+                agent_seed: i as u64,
+                shared_seed: 5,
+            };
+            // Mix a deterministic and a seeded-random algorithm across the
+            // population so schedules differ in period structure.
+            let algo = if i % 3 == 2 {
+                Algorithm::Random
+            } else {
+                Algorithm::Ours
+            };
+            Agent {
+                schedule: algo.make(n, &set, &ctx).expect("valid agent"),
+                set,
+                wake: *wake,
+            }
+        })
+        .collect()
+}
+
+/// Sorted `(pair, first-meeting slot)` entries, as `MeetingMap::as_slice`
+/// lays them out.
+type MetEntries = Vec<((usize, usize), u64)>;
+
+/// The naive slot-by-slot reference: first co-channel slot of every
+/// overlapping pair, scanned through `channel_at` one slot at a time.
+fn reference(agents: &[Agent], horizon: u64) -> (MetEntries, Vec<(usize, usize)>) {
+    let mut met = Vec::new();
+    let mut missed = Vec::new();
+    for i in 0..agents.len() {
+        for j in i + 1..agents.len() {
+            if !agents[i].set.overlaps(&agents[j].set) {
+                continue;
+            }
+            let start = agents[i].wake.max(agents[j].wake);
+            let first = (start..horizon).find(|&t| {
+                agents[i].schedule.channel_at(t - agents[i].wake)
+                    == agents[j].schedule.channel_at(t - agents[j].wake)
+            });
+            match first {
+                Some(t) => met.push(((i, j), t)),
+                None => missed.push((i, j)),
+            }
+        }
+    }
+    (met, missed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arena_modes_match_naive_reference_at_every_thread_count(
+        (n, spec) in population(),
+        horizon in 600u64..1500, // off-block horizons straddle 1–3 blocks
+    ) {
+        let agents = build(n, &spec);
+        let sim = Simulation::new(agents);
+        let (expected_met, expected_missed) = reference(sim.agents(), horizon);
+        for mode in [ResolveMode::Auto, ResolveMode::PairMajor, ResolveMode::BucketScan] {
+            for threads in [1usize, 2, 8] {
+                let cfg = EngineConfig {
+                    parallel: ParallelConfig::with_threads(threads),
+                    mode,
+                };
+                let report = sim.run_engine(horizon, &cfg);
+                prop_assert_eq!(
+                    report.first_meeting.as_slice(),
+                    expected_met.as_slice(),
+                    "meetings diverged: mode {:?}, {} threads", mode, threads
+                );
+                prop_assert_eq!(
+                    &report.missed,
+                    &expected_missed,
+                    "missed diverged: mode {:?}, {} threads", mode, threads
+                );
+                prop_assert_eq!(report.horizon, horizon);
+            }
+        }
+    }
+
+    #[test]
+    fn per_pair_reference_engine_agrees_with_arena(
+        (n, spec) in population(),
+        horizon in 600u64..1500,
+    ) {
+        let agents = build(n, &spec);
+        let sim = Simulation::new(agents);
+        let arena = sim.run(horizon);
+        for threads in [1usize, 2, 8] {
+            let per_pair = sim.run_per_pair_reference(horizon, &ParallelConfig::with_threads(threads));
+            prop_assert_eq!(&arena, &per_pair, "per-pair engine diverged at {} threads", threads);
+        }
+    }
+}

@@ -9,7 +9,7 @@ use blind_rendezvous::sim::workload::{self, PairScenario};
 use blind_rendezvous::sim::{pool, sweep_pair_ttr, ParallelConfig, SweepConfig};
 use proptest::prelude::*;
 use rdv_sim::algo::AgentCtx;
-use rdv_sim::engine::Agent;
+use rdv_sim::engine::{Agent, EngineConfig, ResolveMode};
 use std::collections::HashSet;
 
 /// Sweeps one scenario at a given thread count and returns the serialized
@@ -88,6 +88,29 @@ fn multi_agent_simulation_is_thread_count_invariant() {
     for threads in [2usize, 8] {
         let multi = sim.run_with(horizon, &ParallelConfig::with_threads(threads));
         assert_eq!(single, multi, "simulation diverged at {threads} threads");
+    }
+    // The arena engine's determinism contract covers both resolution
+    // modes: forced pair-major, forced bucket scan, and the per-pair
+    // reference engine must all reproduce the single-thread report at
+    // every thread count.
+    for mode in [ResolveMode::PairMajor, ResolveMode::BucketScan] {
+        for threads in [1usize, 2, 8] {
+            let report = sim.run_engine(
+                horizon,
+                &EngineConfig {
+                    parallel: ParallelConfig::with_threads(threads),
+                    mode,
+                },
+            );
+            assert_eq!(single, report, "{mode:?} diverged at {threads} threads");
+        }
+    }
+    for threads in [1usize, 2, 8] {
+        let per_pair = sim.run_per_pair_reference(horizon, &ParallelConfig::with_threads(threads));
+        assert_eq!(
+            single, per_pair,
+            "per-pair reference diverged at {threads} threads"
+        );
     }
 }
 
