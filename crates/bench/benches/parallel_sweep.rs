@@ -67,6 +67,7 @@ fn bench_parallel_engine(c: &mut Criterion) {
                 schedule: Algorithm::Ours.make(n, &set, &ctx).expect("valid"),
                 set,
                 wake: ctx.wake,
+                share_key: None,
             }
         })
         .collect();

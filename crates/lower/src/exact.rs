@@ -435,4 +435,86 @@ mod tests {
             other => panic!("expected Unknown, got {other:?}"),
         }
     }
+
+    #[test]
+    fn identical_edges_are_unconstrained() {
+        // Full overlap (the same edge twice) rendezvouses trivially under
+        // synchrony — classify must exclude it rather than emit a
+        // vacuous/contradictory constraint.
+        assert_eq!(classify((2, 5), (2, 5)), None);
+        // And fully disjoint edges share no channel to meet on: no
+        // constraint either.
+        assert_eq!(classify((1, 2), (5, 9)), None);
+        assert_eq!(classify((1, 4), (2, 3)), None);
+    }
+
+    #[test]
+    fn k3_generates_exactly_its_overlapping_constraints() {
+        // K_3's three edges pairwise overlap in exactly one channel
+        // (disjoint-except-one in every configuration): 3 constraints, one
+        // per pair, none self.
+        let csp = Csp::new(3, 2, false, 1 << 10);
+        assert_eq!(csp.edges, vec![(1, 2), (1, 3), (2, 3)]);
+        assert_eq!(csp.constraints.len(), 3);
+        for &(i, j, _) in &csp.constraints {
+            assert!(i < j, "constraints must be ordered");
+        }
+        // K_4 has 6 edges; of the 15 pairs only the 3 perfect matchings'
+        // disjoint pairs drop out: 15 − 3 = 12 constraints.
+        let csp4 = Csp::new(4, 2, false, 1 << 10);
+        assert_eq!(csp4.edges.len(), 6);
+        assert_eq!(csp4.constraints.len(), 12);
+    }
+
+    #[test]
+    fn sync_tuples_match_their_configurations() {
+        let mask = 0b11u32;
+        // Shared smallest needs an aligned (0,0): x=01, y=10 has (0,·)
+        // only at slot 1 where y=1 — no.
+        assert!(!sync_ok(0b10, 0b01, Overlap::SharedSmallest, mask));
+        assert!(sync_ok(0b10, 0b10, Overlap::SharedSmallest, mask));
+        // Shared largest needs (1,1).
+        assert!(sync_ok(0b10, 0b11, Overlap::SharedLargest, mask));
+        assert!(!sync_ok(0b01, 0b10, Overlap::SharedLargest, mask));
+        // 2-paths need the opposing tuples.
+        assert!(sync_ok(0b01, 0b10, Overlap::PathFirstLarger, mask));
+        assert!(!sync_ok(0b01, 0b01, Overlap::PathFirstLarger, mask));
+        assert!(sync_ok(0b10, 0b01, Overlap::PathSecondLarger, mask));
+    }
+
+    #[test]
+    fn cyclic_single_edge_needs_one_slot() {
+        // n = 2: one edge, only the unary self-rendezvous constraint; the
+        // constant 1-slot string satisfies every rotation of itself.
+        assert_eq!(exact_ra_n2_cyclic(2, 3, 1 << 16), SearchOutcome::Optimal(1));
+    }
+
+    #[test]
+    fn cyclic_budget_exhaustion_reports_unknown() {
+        match exact_ra_n2_cyclic(3, 6, 2) {
+            SearchOutcome::Unknown => {}
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn witness_absent_unless_optimal() {
+        let (outcome, witness) = exact_rs_n2_with_witness(6, 1, 1 << 22);
+        assert_eq!(outcome, SearchOutcome::ExceedsMax);
+        assert!(witness.is_none(), "no witness without an optimum");
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at 2^6")]
+    fn oversized_domain_rejected() {
+        exact_rs_n2(3, 7, 1 << 10);
+    }
+
+    #[test]
+    fn rotate_full_shift_is_identity_adjacent() {
+        // Rotating by t−1 then by 1 returns the original string.
+        for x in 0u32..(1 << 4) {
+            assert_eq!(rotate(rotate(x, 3, 4), 1, 4), x);
+        }
+    }
 }

@@ -19,6 +19,9 @@
 //! * [`density`] — Theorem 7's density functional `∆(h, σ; T)` and the
 //!   adversarial pair/shift search that exhibits `Ω(kℓ)`-slot witnesses
 //!   against any concrete asynchronous schedule family.
+//! * [`sandwich`] — the per-scenario covering bound behind the repro
+//!   pipeline's *sandwich invariant*: for every measured cell,
+//!   `best_bound ≤ worst-over-shifts TTR ≤ the proven upper bound`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,5 +30,7 @@ pub mod density;
 pub mod exact;
 pub mod pigeonhole;
 pub mod ramsey_bridge;
+pub mod sandwich;
 
 pub use exact::{exact_ra_n2_cyclic, exact_rs_n2, SearchOutcome};
+pub use sandwich::{best_bound, coverage_bound};

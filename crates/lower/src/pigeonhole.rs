@@ -109,12 +109,18 @@ pub fn certify<F: ScheduleFamily>(
         rare.push((set, a, z));
     }
     // Pigeonhole: find k blocks with identical Z whose rare channels are
-    // distinct (they are, being drawn from disjoint blocks).
+    // distinct (they are, being drawn from disjoint blocks). The colliding
+    // group is chosen by smallest Z, not HashMap iteration order — the
+    // witness feeds the reproduction artifacts, which must be bit-identical
+    // across runs.
     let mut groups: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
     for (i, (_, _, z)) in rare.iter().enumerate() {
         groups.entry(z.clone()).or_default().push(i);
     }
-    let (z, indices) = groups.into_iter().find(|(_, idxs)| idxs.len() >= k)?;
+    let (z, indices) = groups
+        .into_iter()
+        .filter(|(_, idxs)| idxs.len() >= k)
+        .min_by(|a, b| a.0.cmp(&b.0))?;
     let chosen: Vec<usize> = indices.into_iter().take(k).collect();
     let s_hat = ChannelSet::new(chosen.iter().map(|&i| rare[i].1))
         .expect("rare channels are distinct across blocks");

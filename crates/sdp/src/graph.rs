@@ -128,6 +128,40 @@ impl OrientGraph {
     pub fn pair_sign(&self, e: usize, f: usize, w: u32) -> i32 {
         self.direction_into(e, w) * self.direction_into(f, w)
     }
+
+    /// A seeded random multigraph: a vertex count drawn from `nv_range`,
+    /// an edge count from `ne_range`, and that many uniform non-loop
+    /// edges (parallel edges allowed) — deterministic given the seed.
+    /// The instance generator behind the SDP pipeline's `random-*`
+    /// families and the solver's randomized tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges admit `nv < 2` or `ne < 1` draws (no
+    /// non-loop edge exists / the graph would be empty).
+    pub fn seeded_random(
+        seed: u64,
+        nv_range: std::ops::Range<usize>,
+        ne_range: std::ops::Range<usize>,
+    ) -> Self {
+        use rand::{Rng, SeedableRng};
+        assert!(nv_range.start >= 2, "non-loop edges need two vertices");
+        assert!(ne_range.start >= 1, "instances need at least one edge");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let nv = rng.gen_range(nv_range);
+        let ne = rng.gen_range(ne_range);
+        let edges: Vec<(u32, u32)> = (0..ne)
+            .map(|_| {
+                let u = rng.gen_range(0..nv as u32);
+                let mut v = rng.gen_range(0..nv as u32);
+                while v == u {
+                    v = rng.gen_range(0..nv as u32);
+                }
+                (u, v)
+            })
+            .collect();
+        OrientGraph::new(nv, edges).expect("non-loop edges within the universe")
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +211,19 @@ mod tests {
         // Opposite directions: two cross-pairs.
         assert_eq!(g.in_pairs(&[true, false]), 0);
         assert_eq!(g.in_plus_out_pairs(&[true, false]), 0);
+    }
+
+    #[test]
+    fn seeded_random_is_deterministic_and_valid() {
+        let a = OrientGraph::seeded_random(7, 5..9, 6..13);
+        let b = OrientGraph::seeded_random(7, 5..9, 6..13);
+        assert_eq!(a, b, "same seed must reproduce the instance");
+        assert_ne!(a, OrientGraph::seeded_random(8, 5..9, 6..13));
+        assert!((5..9).contains(&a.n_vertices()));
+        assert!((6..13).contains(&a.n_edges()));
+        for &(u, v) in a.edges() {
+            assert_ne!(u, v, "no self-loops");
+        }
     }
 
     #[test]

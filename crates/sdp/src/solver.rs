@@ -283,4 +283,87 @@ mod tests {
         let g = OrientGraph::new(26, (0..25).map(|i| (i, i + 1)).collect()).unwrap();
         exact_max_in_pairs(&g);
     }
+
+    #[test]
+    fn converges_on_cycle_four() {
+        // C_4's optimum is two in-pairs (alternate the orientation so two
+        // opposite vertices become sinks); the ascent + rounding must
+        // recover it exactly from the default config.
+        let g = OrientGraph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(exact_max_in_pairs(&g), 2);
+        let res = solve(&g, &SdpConfig::default());
+        assert_eq!(res.in_pairs, 2, "rounding missed the C4 optimum");
+        // The relaxation upper-bounds the in+out optimum (here every
+        // incident pair can agree): 4 pairs.
+        assert!(res.sdp_value <= 4.0 + 1e-6);
+        assert!(res.sdp_value + 1e-6 >= 2.0);
+    }
+
+    #[test]
+    fn disconnected_pairless_graph_is_degenerate() {
+        // Two vertex-disjoint edges: no incident pairs, so the objective
+        // is empty — value 0, no in-pairs, any orientation optimal.
+        let g = OrientGraph::new(4, vec![(0, 1), (2, 3)]).unwrap();
+        assert!(g.incident_pairs().is_empty());
+        assert_eq!(exact_max_in_pairs(&g), 0);
+        let res = solve(&g, &SdpConfig::default());
+        assert_eq!(res.sdp_value, 0.0);
+        assert_eq!(res.in_pairs, 0);
+        assert_eq!(res.in_plus_out, 0);
+        assert_eq!(res.orientation.len(), 2);
+    }
+
+    #[test]
+    fn rounded_never_beats_exact() {
+        // The rounded orientation is one of the 2^m the exact enumeration
+        // covers, so in_pairs ≤ optimum always — on every seeded graph.
+        for trial in 0..8 {
+            let g = OrientGraph::seeded_random(4242 + trial, 4..8, 3..11);
+            let res = solve(&g, &SdpConfig::default());
+            assert!(res.in_pairs <= exact_max_in_pairs(&g));
+            assert!(res.in_pairs <= res.in_plus_out);
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_still_round() {
+        // Zero ascent iterations (pure random vectors) and a single
+        // rounding hyperplane: the flip trick alone still guarantees at
+        // least half the incident pairs agree in expectation — and the
+        // result stays a valid orientation regardless.
+        let g = star(5);
+        let cfg = SdpConfig {
+            iterations: 0,
+            rounding_trials: 1,
+            ..SdpConfig::default()
+        };
+        let res = solve(&g, &cfg);
+        assert_eq!(res.orientation.len(), g.n_edges());
+        assert!(res.in_pairs <= exact_max_in_pairs(&g));
+        // More iterations can only help the relaxation value.
+        let tuned = solve(&g, &SdpConfig::default());
+        assert!(tuned.sdp_value + 1e-9 >= res.sdp_value - 1e-6 || tuned.in_pairs >= res.in_pairs);
+    }
+
+    #[test]
+    fn convergence_improves_with_iterations_on_k4() {
+        // The ascent must lift the relaxation value from its random start
+        // toward the optimum on K4 (value ≥ optimum at convergence).
+        let g = OrientGraph::new(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let short = solve(
+            &g,
+            &SdpConfig {
+                iterations: 2,
+                ..SdpConfig::default()
+            },
+        );
+        let long = solve(&g, &SdpConfig::default());
+        assert!(
+            long.sdp_value >= short.sdp_value - 1e-6,
+            "ascent regressed: {} -> {}",
+            short.sdp_value,
+            long.sdp_value
+        );
+        assert!(long.sdp_value + 1e-6 >= exact_max_in_pairs(&g) as f64);
+    }
 }

@@ -90,6 +90,15 @@ pub struct Agent {
     pub wake: u64,
     /// The agent's schedule (local time).
     pub schedule: DynSchedule,
+    /// Schedule-sharing key: agents carrying the **same** `Some` key
+    /// promise their `schedule`s are interchangeable (identical
+    /// `channel_at` for every slot — e.g. the same deterministic
+    /// algorithm on the same channel set), letting the engine compile
+    /// one period table per key instead of one per agent. Clustered
+    /// populations repeat channel sets heavily, so this collapses the
+    /// compile path from `O(agents)` to `O(distinct sets)`. `None` (the
+    /// safe default) never shares.
+    pub share_key: Option<u64>,
 }
 
 /// How the engine resolves pending pairs against the filled arena.
@@ -299,6 +308,40 @@ impl Simulation {
         pending
     }
 
+    /// Maps each agent to its schedule-sharing group: agents with equal
+    /// `Some` [`Agent::share_key`]s share a group, keyless agents get
+    /// their own. Group ids are assigned in first-appearance order, so
+    /// `group_of[i] == prepared.len()` exactly when agent `i` opens a
+    /// new group — the invariant the prepare loop in
+    /// [`Self::run_engine`] relies on.
+    fn schedule_group_indices(&self) -> Vec<usize> {
+        let mut by_key: HashMap<u64, usize> = HashMap::new();
+        let mut next = 0usize;
+        self.agents
+            .iter()
+            .map(|a| {
+                let g = match a.share_key {
+                    Some(key) => *by_key.entry(key).or_insert(next),
+                    None => next,
+                };
+                if g == next {
+                    next += 1;
+                }
+                g
+            })
+            .collect()
+    }
+
+    /// How many distinct schedules the arena engine prepares (and, when
+    /// their periods fit the budget, compiles) for this population — the
+    /// observable the share-key dedup regression tests pin.
+    pub fn schedule_groups(&self) -> usize {
+        self.schedule_group_indices()
+            .into_iter()
+            .max()
+            .map_or(0, |g| g + 1)
+    }
+
     /// Runs the simulation for `horizon` absolute slots, recording the
     /// first meeting slot of every overlapping pair.
     ///
@@ -345,14 +388,23 @@ impl Simulation {
             load[i] += 1;
             load[j] += 1;
         }
-        // Compiled-schedule reuse across blocks: prepare once per run,
-        // budgeting total table memory across the population.
-        let cap = COMPILE_BUDGET_SLOTS / n as u64;
-        let prepared: Vec<PreparedSchedule<&DynSchedule>> = self
-            .agents
-            .iter()
-            .map(|a| PreparedSchedule::new_capped(&a.schedule, cap))
-            .collect();
+        // Compiled-schedule reuse across blocks *and* across agents:
+        // agents sharing a `share_key` share one prepared schedule. The
+        // period cap stays the per-*agent* budget share — measured on the
+        // clustered 512-agent bench, raising it to a per-group share
+        // compiles tables too large for cache and costs the fill phase
+        // ~2× — so sharing strictly reduces compile time and table
+        // memory (groups ≤ agents) without changing which schedules
+        // compile or how fills behave.
+        let group_of = self.schedule_group_indices();
+        let groups = group_of.iter().copied().max().map_or(0, |g| g + 1);
+        let cap = COMPILE_BUDGET_SLOTS / n.max(1) as u64;
+        let mut prepared: Vec<PreparedSchedule<&DynSchedule>> = Vec::with_capacity(groups);
+        for (i, &g) in group_of.iter().enumerate() {
+            if g == prepared.len() {
+                prepared.push(PreparedSchedule::new_capped(&self.agents[i].schedule, cap));
+            }
+        }
         let arena: Vec<AtomicU64> = std::iter::repeat_with(|| AtomicU64::new(0))
             .take(n * BLOCK)
             .collect();
@@ -393,6 +445,7 @@ impl Simulation {
                 .collect();
             let agents = &self.agents;
             let (prepared, arena) = (&prepared, &arena);
+            let group_of = &group_of;
             // Phase 1: each task fills its agents' arena rows for the
             // block. Relaxed stores — the two-phase barrier publishes
             // them to the resolve tasks.
@@ -410,7 +463,8 @@ impl Simulation {
                     }
                     let awake_from = agent.wake.max(block_start);
                     let lead = (awake_from - block_start) as usize;
-                    prepared[ai].fill_channels(awake_from - agent.wake, &mut scratch[lead..len]);
+                    prepared[group_of[ai]]
+                        .fill_channels(awake_from - agent.wake, &mut scratch[lead..len]);
                     for slot in &row[..lead] {
                         slot.store(0, Ordering::Relaxed);
                     }
@@ -737,6 +791,7 @@ mod tests {
             schedule: algo.make(n, &set, &ctx).expect("valid agent"),
             set,
             wake,
+            share_key: None,
         }
     }
 
@@ -893,6 +948,99 @@ mod tests {
             }
         }
         assert_eq!(indexed, nested);
+    }
+
+    #[test]
+    fn clustered_agents_dedupe_compiled_tables() {
+        // 200 agents over 61 possible contiguous blocks: the arena engine
+        // must prepare one schedule per *distinct* set, not per agent.
+        let agents = crate::workload::clustered_agents(Algorithm::Ours, 64, 4, 200, 11, 128);
+        let mut distinct: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+        for a in &agents {
+            distinct.insert(a.set.as_slice().to_vec());
+        }
+        let sim = Simulation::new(agents);
+        assert_eq!(
+            sim.schedule_groups(),
+            distinct.len(),
+            "one compiled-table group per distinct (algorithm, set)"
+        );
+        assert!(
+            sim.schedule_groups() < sim.agents().len(),
+            "a clustered population must actually share schedules"
+        );
+    }
+
+    #[test]
+    fn share_keys_do_not_change_the_report() {
+        // The deduped engine must produce the identical report with the
+        // share keys stripped (every agent compiled separately).
+        let n = 48u64;
+        let horizon = 6_000u64;
+        let keyed = Simulation::new(crate::workload::clustered_agents(
+            Algorithm::Ours,
+            n,
+            4,
+            60,
+            5,
+            300,
+        ));
+        assert!(keyed.schedule_groups() < 60);
+        let mut stripped_agents =
+            crate::workload::clustered_agents(Algorithm::Ours, n, 4, 60, 5, 300);
+        for a in &mut stripped_agents {
+            a.share_key = None;
+        }
+        let stripped = Simulation::new(stripped_agents);
+        assert_eq!(stripped.schedule_groups(), 60);
+        for mode in [
+            ResolveMode::Auto,
+            ResolveMode::PairMajor,
+            ResolveMode::BucketScan,
+        ] {
+            for threads in [1usize, 4] {
+                let cfg = EngineConfig {
+                    parallel: ParallelConfig::with_threads(threads),
+                    mode,
+                };
+                assert_eq!(
+                    keyed.run_engine(horizon, &cfg),
+                    stripped.run_engine(horizon, &cfg),
+                    "dedupe changed the report ({mode:?}, {threads} threads)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_agents_never_share() {
+        // Seeded-random schedules differ per agent even on equal sets —
+        // share_key must refuse them.
+        assert_eq!(
+            crate::workload::share_key(
+                Algorithm::Random,
+                16,
+                &ChannelSet::new(vec![1, 2, 3]).unwrap()
+            ),
+            None
+        );
+        let agents = crate::workload::clustered_agents(Algorithm::Random, 16, 4, 24, 3, 64);
+        let sim = Simulation::new(agents);
+        assert_eq!(sim.schedule_groups(), 24);
+    }
+
+    #[test]
+    fn share_keys_distinguish_universes() {
+        // The same set under different universe sizes yields different
+        // schedules (word lengths and primes scale with n), so the keys
+        // must differ — equal keys would share a wrong compiled table.
+        let set = ChannelSet::new(vec![1, 2, 3, 4]).unwrap();
+        let k64 = crate::workload::share_key(Algorithm::Ours, 64, &set).unwrap();
+        let k128 = crate::workload::share_key(Algorithm::Ours, 128, &set).unwrap();
+        assert_ne!(k64, k128);
+        // And different algorithms on the same (n, set) never collide.
+        let crseq = crate::workload::share_key(Algorithm::Crseq, 64, &set).unwrap();
+        assert_ne!(k64, crseq);
     }
 
     #[test]

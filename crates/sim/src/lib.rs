@@ -34,4 +34,7 @@ pub mod workload;
 pub use algo::Algorithm;
 pub use engine::{EngineConfig, MeetingMap, MeetingReport, ResolveMode, Simulation};
 pub use pool::ParallelConfig;
-pub use sweep::{sweep_pair_ttr, PairSweep, SweepConfig, SweepError};
+pub use sweep::{
+    sweep_lower_bound, sweep_pair_ttr, LowerBoundSweep, LowerSweepConfig, PairSweep, SweepConfig,
+    SweepError,
+};

@@ -351,6 +351,244 @@ pub fn sweep_pair_ttr(
     })
 }
 
+/// Parameters of a [`sweep_lower_bound`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerSweepConfig {
+    /// Sweep shift `0` only (synchronous wake-up). The covering bound
+    /// quantifies over shifts, so synchronous cells get the trivial bound.
+    pub sync: bool,
+    /// Sweep every shift in `[0, period_A)` when the period is at most
+    /// this — the regime where `certified_bound ≤ witness_ttr` is a hard
+    /// invariant rather than a sampled one.
+    pub max_exhaustive_shifts: u64,
+    /// Shifts to sample (spread over the period) when the period exceeds
+    /// the exhaustive cap or is unknown.
+    pub sampled_shifts: u64,
+    /// Simulation cut-off override (0 = the algorithm default).
+    pub horizon_override: u64,
+    /// Worker threads (0 = auto-detect); results are bit-identical for
+    /// every value.
+    pub threads: usize,
+}
+
+impl Default for LowerSweepConfig {
+    fn default() -> Self {
+        LowerSweepConfig {
+            sync: false,
+            max_exhaustive_shifts: 1024,
+            sampled_shifts: 64,
+            horizon_override: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// One cell of the lower-bound reproduction grid: a certified lower bound
+/// on the worst-over-shifts TTR plus the measured worst witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerBoundSweep {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Universe size.
+    pub n: u64,
+    /// `|A|`.
+    pub k: usize,
+    /// `|B|`.
+    pub ell: usize,
+    /// The certified lower bound ([`rdv_lower::best_bound`]'s covering
+    /// argument; `0` when no bound applies).
+    pub certified_bound: u64,
+    /// What certified the bound.
+    pub bound_kind: &'static str,
+    /// Worst observed TTR over the swept shifts.
+    pub witness_ttr: u64,
+    /// The shift achieving `witness_ttr` (smallest such shift).
+    pub witness_shift: u64,
+    /// How many shifts were swept.
+    pub shifts_swept: u64,
+    /// Whether the sweep covered every shift in `[0, period_A)` — only
+    /// then is `certified_bound ≤ witness_ttr` a certified invariant.
+    pub exhaustive: bool,
+    /// Shifts that missed the horizon (excluded from the witness).
+    pub failures: usize,
+    /// The horizon used.
+    pub horizon: u64,
+}
+
+impl LowerBoundSweep {
+    /// The cell as a JSON object — the `REPRO_lower` artifact row.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("algorithm", Value::from(self.algorithm.to_string())),
+            ("n", Value::from(self.n)),
+            ("k", Value::from(self.k)),
+            ("ell", Value::from(self.ell)),
+            ("lower", Value::from(self.certified_bound)),
+            ("lower_kind", Value::from(self.bound_kind)),
+            ("measured", Value::from(self.witness_ttr)),
+            ("witness_shift", Value::from(self.witness_shift)),
+            ("shifts_swept", Value::from(self.shifts_swept)),
+            ("exhaustive", Value::from(self.exhaustive)),
+            ("failures", Value::from(self.failures)),
+            ("horizon", Value::from(self.horizon)),
+        ])
+    }
+
+    /// Whether the lower slice of the sandwich invariant is *certified*
+    /// to hold: either the sweep was not exhaustive (sampled witnesses
+    /// may legitimately sit below the bound), some shift missed the
+    /// horizon (the true worst case is even larger), or the bound is
+    /// respected outright.
+    pub fn lower_slice_ok(&self) -> bool {
+        !self.exhaustive || self.failures > 0 || self.certified_bound <= self.witness_ttr
+    }
+}
+
+/// Measures one lower-bound cell: computes the certified covering bound
+/// for the algorithm's concrete schedules on `scenario` and sweeps shifts
+/// (exhaustively when the period fits the cap) for the worst measured
+/// witness, sharded onto the work-stealing orchestrator — the entry point
+/// of the `repro lower` pipeline.
+///
+/// Deterministic algorithms use their single seed-0 schedule; randomized
+/// ones are measured on the seed-0 stream (the bound certifies that
+/// concrete schedule, which is all a per-cell bound can mean for them).
+/// Wake-sensitive algorithms (the beacons) rebuild schedules per shift
+/// and carry no certified bound — their schedules change with the shift,
+/// so no single covering argument applies.
+///
+/// # Errors
+///
+/// Same contract as [`sweep_pair_ttr`]: [`SweepError::DisjointSets`],
+/// [`SweepError::Unsupported`], or [`SweepError::NoSamples`].
+pub fn sweep_lower_bound(
+    algorithm: Algorithm,
+    n: u64,
+    scenario: &PairScenario,
+    cfg: &LowerSweepConfig,
+) -> Result<LowerBoundSweep, SweepError> {
+    if !scenario.a.overlaps(&scenario.b) {
+        return Err(SweepError::DisjointSets);
+    }
+    let k = scenario.a.len();
+    let ell = scenario.b.len();
+    let horizon = if cfg.horizon_override > 0 {
+        cfg.horizon_override
+    } else {
+        algorithm.horizon(n, k, ell)
+    };
+
+    let (ctx_a, ctx_b) = seed_ctxs(0, 0);
+    let (Some(sa), Some(sb)) = (
+        algorithm.make(n, &scenario.a, &ctx_a),
+        algorithm.make(n, &scenario.b, &ctx_b),
+    ) else {
+        return Err(SweepError::Unsupported { algorithm, n });
+    };
+
+    // The certified lower bound for this concrete pair of schedules.
+    let (certified_bound, bound_kind) = if cfg.sync {
+        (0, "trivial (single alignment)")
+    } else if algorithm.wake_sensitive() {
+        (0, "none (wake-sensitive schedule)")
+    } else {
+        let bound = rdv_lower::best_bound(&sa, &sb);
+        if sa.period_hint().is_some() {
+            (bound, "covering (Thm 7 density argument)")
+        } else {
+            (bound, "none (aperiodic schedule)")
+        }
+    };
+
+    // The shift list: exhaustive over one period of σ_A when it fits,
+    // sampled with a period-spread stride otherwise.
+    let (shifts, exhaustive): (Vec<u64>, bool) = if cfg.sync {
+        (vec![0], false)
+    } else {
+        match sa.period_hint() {
+            Some(p) if p <= cfg.max_exhaustive_shifts => ((0..p).collect(), true),
+            hint => {
+                let count = cfg.sampled_shifts.max(1);
+                let stride = hint.map(|p| (p / count).max(1) | 1).unwrap_or(13);
+                ((0..count).map(|i| i * stride).collect(), false)
+            }
+        }
+    };
+    let shifts_swept = shifts.len() as u64;
+
+    let prepared = if algorithm.wake_sensitive() {
+        None
+    } else {
+        Some((PreparedSchedule::new(sa), PreparedSchedule::new(sb)))
+    };
+
+    let tasks: Vec<Range<usize>> = (0..shifts.len())
+        .step_by(SAMPLES_PER_TASK)
+        .map(|start| start..(start + SAMPLES_PER_TASK).min(shifts.len()))
+        .collect();
+    let (prepared, shifts) = (&prepared, &shifts);
+    // Per task: (worst ttr, smallest shift achieving it, failures). The
+    // task-order fold below keeps the merge independent of scheduling.
+    let results: Vec<(Option<(u64, u64)>, usize)> = pool::run_indexed(
+        tasks,
+        &ParallelConfig {
+            threads: cfg.threads,
+        },
+        |_task_idx, range| {
+            let mut worst: Option<(u64, u64)> = None;
+            let mut failures = 0usize;
+            for at in range {
+                let shift = shifts[at];
+                let outcome = match prepared {
+                    Some((pa, pb)) => verify::async_ttr_prepared(pa, pb, shift, horizon),
+                    None => {
+                        let (ctx_a, ctx_b) = seed_ctxs(0, shift);
+                        match (
+                            algorithm.make(n, &scenario.a, &ctx_a),
+                            algorithm.make(n, &scenario.b, &ctx_b),
+                        ) {
+                            (Some(sa), Some(sb)) => verify::async_ttr(&sa, &sb, shift, horizon),
+                            _ => None,
+                        }
+                    }
+                };
+                match outcome {
+                    Some(ttr) if worst.is_none_or(|(w, _)| ttr > w) => worst = Some((ttr, shift)),
+                    Some(_) => {}
+                    None => failures += 1,
+                }
+            }
+            (worst, failures)
+        },
+    );
+
+    let mut worst: Option<(u64, u64)> = None;
+    let mut failures = 0usize;
+    for (local, f) in results {
+        failures += f;
+        if let Some((ttr, shift)) = local {
+            if worst.is_none_or(|(w, _)| ttr > w) {
+                worst = Some((ttr, shift));
+            }
+        }
+    }
+    let (witness_ttr, witness_shift) = worst.ok_or(SweepError::NoSamples { failures })?;
+    Ok(LowerBoundSweep {
+        algorithm,
+        n,
+        k,
+        ell,
+        certified_bound,
+        bound_kind,
+        witness_ttr,
+        witness_shift,
+        shifts_swept,
+        exhaustive,
+        failures,
+        horizon,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +780,80 @@ mod tests {
                 assert!(s.failures > 0);
             }
         }
+    }
+
+    #[test]
+    fn lower_bound_sweep_is_sandwiched_when_exhaustive() {
+        let n = 12u64;
+        let scenario = workload::adversarial_overlap_one(n, 3, 3).unwrap();
+        let cfg = LowerSweepConfig {
+            max_exhaustive_shifts: 1 << 14,
+            ..LowerSweepConfig::default()
+        };
+        let cell = sweep_lower_bound(Algorithm::Ours, n, &scenario, &cfg).unwrap();
+        assert!(cell.exhaustive, "period should fit the exhaustive cap");
+        assert_eq!(cell.failures, 0);
+        assert!(cell.lower_slice_ok());
+        assert!(
+            cell.certified_bound <= cell.witness_ttr,
+            "covering bound {} exceeds exhaustive worst {}",
+            cell.certified_bound,
+            cell.witness_ttr
+        );
+        assert!(cell.witness_ttr <= cell.horizon);
+    }
+
+    #[test]
+    fn lower_bound_sweep_sync_is_trivial() {
+        let scenario = workload::adversarial_overlap_one(12, 3, 3).unwrap();
+        let cfg = LowerSweepConfig {
+            sync: true,
+            ..LowerSweepConfig::default()
+        };
+        let cell = sweep_lower_bound(Algorithm::Ours, 12, &scenario, &cfg).unwrap();
+        assert_eq!(cell.certified_bound, 0);
+        assert_eq!(cell.shifts_swept, 1);
+        assert!(!cell.exhaustive);
+    }
+
+    #[test]
+    fn lower_bound_sweep_is_thread_count_invariant() {
+        let scenario = workload::adversarial_overlap_one(16, 3, 4).unwrap();
+        for algo in [Algorithm::Ours, Algorithm::Crseq, Algorithm::BeaconB] {
+            let at = |threads| {
+                let cfg = LowerSweepConfig {
+                    max_exhaustive_shifts: 512,
+                    sampled_shifts: 96,
+                    threads,
+                    ..LowerSweepConfig::default()
+                };
+                sweep_lower_bound(algo, 16, &scenario, &cfg)
+                    .unwrap_or_else(|e| panic!("{algo}: {e}"))
+            };
+            let single = at(1);
+            assert_eq!(single, at(2), "{algo} diverged at 2 threads");
+            assert_eq!(single, at(8), "{algo} diverged at 8 threads");
+        }
+    }
+
+    #[test]
+    fn lower_bound_sweep_rejects_bad_scenarios() {
+        let disjoint = PairScenario {
+            a: rdv_core::channel::ChannelSet::new(vec![1, 2]).unwrap(),
+            b: rdv_core::channel::ChannelSet::new(vec![3, 4]).unwrap(),
+        };
+        assert_eq!(
+            sweep_lower_bound(Algorithm::Ours, 8, &disjoint, &LowerSweepConfig::default()),
+            Err(SweepError::DisjointSets)
+        );
+        let oversized = PairScenario {
+            a: rdv_core::channel::ChannelSet::new(vec![1, 40]).unwrap(),
+            b: rdv_core::channel::ChannelSet::new(vec![1, 2]).unwrap(),
+        };
+        assert!(matches!(
+            sweep_lower_bound(Algorithm::Ours, 8, &oversized, &LowerSweepConfig::default()),
+            Err(SweepError::Unsupported { n: 8, .. })
+        ));
     }
 
     #[test]

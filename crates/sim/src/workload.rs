@@ -193,10 +193,38 @@ pub fn clustered_population(n: u64, k: usize, count: usize, seed: u64) -> Vec<Ch
         .collect()
 }
 
+/// The schedule-sharing key for an `(algorithm, universe, channel set)`
+/// triple — a stable FNV-1a fold, safe to hand to [`Agent::share_key`]
+/// exactly when the algorithm's schedule is a pure function of those
+/// three: deterministic (no per-agent seed) and wake-insensitive (no
+/// beacon clock). The universe size is part of the key because every
+/// construction shapes its schedule around `n` (word lengths, primes,
+/// periods), so equal sets in different universes must not share.
+/// Returns `None` for seeded or wake-sensitive algorithms, so callers
+/// can thread it through unconditionally.
+pub fn share_key(algo: Algorithm, n: u64, set: &ChannelSet) -> Option<u64> {
+    if !algo.is_deterministic() || algo.wake_sensitive() {
+        return None;
+    }
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET ^ (algo as u64).wrapping_mul(PRIME);
+    h = (h ^ n).wrapping_mul(PRIME);
+    for &c in set.as_slice() {
+        h = (h ^ c).wrapping_mul(PRIME);
+    }
+    Some(h)
+}
+
 /// A ready-to-simulate clustered population: [`clustered_population`]
 /// channel sets turned into agents running `algo`, with wake slots
 /// staggered over `[0, max_wake)` — the standard multi-user workload of
 /// the engine benches and the `BENCH_multiuser.json` report.
+///
+/// Deterministic wake-insensitive algorithms get [`share_key`]s, so the
+/// arena engine compiles one schedule table per *distinct* channel set —
+/// clustered populations repeat sets heavily (`n − k + 1` possible
+/// blocks), collapsing the compile path for large `count`.
 ///
 /// # Panics
 ///
@@ -223,6 +251,7 @@ pub fn clustered_agents(
                 schedule: algo
                     .make(n, &set, &ctx)
                     .unwrap_or_else(|| panic!("{algo} cannot be instantiated at n={n}, k={k}")),
+                share_key: share_key(algo, n, &set),
                 set,
                 wake: ctx.wake,
             }

@@ -29,6 +29,7 @@ fn run(algo: Algorithm, n: u64, sets: &[ChannelSet]) -> (usize, usize, u64, f64)
                 schedule: algo.make(n, set, &ctx).expect("valid agent"),
                 set: set.clone(),
                 wake,
+                share_key: None,
             }
         })
         .collect();

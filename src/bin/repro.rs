@@ -1,14 +1,24 @@
 //! The experiment driver: regenerates every table and figure of the paper,
-//! plus the one-command machine-readable reproduction pipeline.
+//! plus the one-command machine-readable reproduction pipelines.
 //!
 //! ```text
-//! repro [--quick | --smoke] [--out-dir DIR] <experiment>
+//! repro [--quick | --smoke] [--out-dir DIR] <experiment> [args...]
 //!
-//! experiments:
-//!   table1         E0  the reproduction pipeline: all eight algorithms ×
-//!                      sync/async × symmetric/asymmetric, measured against
-//!                      the Theorems 3–5 bounds; writes REPRO_table1.json
-//!                      and REPRO_table1.md, exits non-zero on a violation
+//! artifact pipelines (JSON + markdown, gated, CI-diffed bit-for-bit):
+//!   table1         E0  all eight algorithms × sync/async × sym/asym,
+//!                      measured against the Theorems 3–5 bounds; writes
+//!                      REPRO_table1.{json,md}, exits non-zero on a violation
+//!   lower              the Section 4 lower bounds on the same grid: the
+//!                      covering/density sandwich invariant per cell, exact
+//!                      R_s(n,2) optima, pigeonhole certificates, density
+//!                      witnesses, Ramsey-bridge attack; writes
+//!                      REPRO_lower.{json,md}
+//!   sdp                the appendix one-round SDP relaxation on the graph
+//!                      families vs exact optima; writes REPRO_sdp.{json,md}
+//!   trend OLD NEW      diffs two artifact JSONs (any pipeline), matching
+//!                      rows by id and reporting bound-headroom movement
+//!
+//! console experiments:
 //!   table1-asym    E1  Table 1, asymmetric column (TTR vs n, fitted exponents)
 //!   table1-sym     E2  Table 1, symmetric column
 //!   thm3-scaling   E3  O(|A||B| log log n) headline scaling
@@ -18,7 +28,6 @@
 //!   lb-sync        E9  Theorem 6 pigeonhole certificates
 //!   lb-async       E10 Theorem 7 density witnesses (Ω(kℓ))
 //!   beacon         E11/E12  one-bit beacon protocols A and B
-//!   sdp            E13 one-round 0.439-approximation
 //!   all            everything, in order
 //!
 //! tiers:
@@ -28,17 +37,15 @@
 //!                  every algorithm × timing × scenario cell
 //! ```
 
+use blind_rendezvous::pipelines;
 use blind_rendezvous::prelude::*;
+use blind_rendezvous::report::{self, PipelineOutput, Tier};
 use rdv_core::channel::ChannelSet;
-use rdv_core::symmetric::SymmetricWrapped;
 use rdv_lower::{density, exact, pigeonhole};
-use rdv_sdp::{exact_max_in_pairs, random_orientation_value, solve, OrientGraph, SdpConfig};
 use rdv_sim::stats::growth_exponent;
-use rdv_sim::sweep::{sweep_pair_ttr, PairSweep, SweepConfig};
-use rdv_sim::workload::PairScenario;
-use rdv_sim::{workload, Algorithm, ParallelConfig};
+use rdv_sim::sweep::{sweep_pair_ttr, SweepConfig};
+use rdv_sim::workload;
 use rdv_strings::{rmap::RCode, Bits};
-use serde_json::Value;
 use std::path::PathBuf;
 
 fn main() {
@@ -56,25 +63,36 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
+    // Positional arguments: everything that is neither a flag nor the
+    // value of `--out-dir`.
+    let mut positional: Vec<&str> = Vec::new();
     let mut skip_next = false;
-    let cmd = args
-        .iter()
-        .find(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
-            }
-            if *a == "--out-dir" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with("--")
-        })
-        .map(String::as_str)
-        .unwrap_or("all");
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--out-dir" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            positional.push(a);
+        }
+    }
+    let cmd = positional.first().copied().unwrap_or("all");
     let ctx = Ctx { tier, out_dir };
     match cmd {
-        "table1" => table1_pipeline(&ctx),
+        "table1" => run_pipeline(&ctx, pipelines::table1::run(tier, 0), "REPRO_table1"),
+        "lower" => run_pipeline(&ctx, pipelines::lower::run(tier, 0), "REPRO_lower"),
+        "sdp" => run_pipeline(&ctx, pipelines::sdp::run(tier, 0), "REPRO_sdp"),
+        "trend" => {
+            let (Some(old), Some(new)) = (positional.get(1), positional.get(2)) else {
+                eprintln!("usage: repro trend OLD.json NEW.json");
+                std::process::exit(2);
+            };
+            trend(old, new);
+        }
         "table1-asym" => table1_asym(&ctx),
         "table1-sym" => table1_sym(&ctx),
         "thm3-scaling" => thm3_scaling(&ctx),
@@ -84,9 +102,10 @@ fn main() {
         "lb-sync" => lb_sync(&ctx),
         "lb-async" => lb_async(&ctx),
         "beacon" => beacon(&ctx),
-        "sdp" => sdp_experiment(&ctx),
         "all" => {
-            table1_pipeline(&ctx);
+            run_pipeline(&ctx, pipelines::table1::run(tier, 0), "REPRO_table1");
+            run_pipeline(&ctx, pipelines::lower::run(tier, 0), "REPRO_lower");
+            run_pipeline(&ctx, pipelines::sdp::run(tier, 0), "REPRO_sdp");
             table1_asym(&ctx);
             table1_sym(&ctx);
             thm3_scaling(&ctx);
@@ -96,21 +115,12 @@ fn main() {
             lb_sync(&ctx);
             lb_async(&ctx);
             beacon(&ctx);
-            sdp_experiment(&ctx);
         }
         other => {
             eprintln!("unknown experiment {other:?}; see the module docs");
             std::process::exit(2);
         }
     }
-}
-
-/// Experiment size tiers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Tier {
-    Full,
-    Quick,
-    Smoke,
 }
 
 struct Ctx {
@@ -126,276 +136,53 @@ impl Ctx {
     }
 }
 
-fn header(title: &str) {
-    println!();
-    println!("==== {title} ====");
-    println!();
-}
-
-/// Every algorithm the pipeline reproduces — the Table 1 rows plus the
-/// randomized strawman and the two beacon protocols.
-const PIPELINE_ALGOS: [Algorithm; 8] = [
-    Algorithm::Ours,
-    Algorithm::OursSymmetric,
-    Algorithm::Crseq,
-    Algorithm::JumpStay,
-    Algorithm::Drds,
-    Algorithm::Random,
-    Algorithm::BeaconA,
-    Algorithm::BeaconB,
-];
-
-/// The bound a pipeline cell is measured against: the slot count, a label
-/// for the artifact, and whether the row is *gated* (a proven bound whose
-/// violation fails the pipeline) or merely recorded.
-fn cell_bound(algo: Algorithm, n: u64, scenario: &PairScenario) -> (u64, &'static str, bool) {
-    let (k, ell) = (scenario.a.len(), scenario.b.len());
-    match algo {
-        Algorithm::Ours => {
-            let s = GeneralSchedule::asynchronous(n, scenario.a.clone()).expect("valid scenario");
-            (s.ttr_bound(ell), "Theorem 3: O(|A||B| log log n)", true)
-        }
-        Algorithm::OursSymmetric => {
-            if scenario.a == scenario.b {
-                (
-                    SymmetricWrapped::<GeneralSchedule>::SYMMETRIC_TTR_BOUND,
-                    "§3.2: O(1) symmetric",
-                    true,
-                )
-            } else {
-                let base =
-                    GeneralSchedule::asynchronous(n, scenario.a.clone()).expect("valid scenario");
-                (
-                    rdv_core::symmetric::BLOWUP * base.ttr_bound(ell)
-                        + 2 * rdv_core::symmetric::BLOWUP,
-                    "§3.2 wrap: 12× Theorem 3 + O(1)",
-                    true,
-                )
-            }
-        }
-        // The baseline reconstructions are faithful in period structure but
-        // their paywalled proofs could not be transcribed (see
-        // rdv-baselines); their generous guarantee horizons are recorded and
-        // *reported* against, not gated.
-        Algorithm::Crseq | Algorithm::JumpStay | Algorithm::Drds => (
-            algo.horizon(n, k, ell),
-            "guarantee horizon (reconstruction, empirical)",
-            false,
-        ),
-        Algorithm::Random | Algorithm::BeaconA | Algorithm::BeaconB => {
-            (algo.horizon(n, k, ell), "w.h.p. horizon (not gated)", false)
-        }
-    }
-}
-
-/// One pipeline row as JSON: the sweep's own fields plus the cell context.
-fn row_json(
-    sweep: &PairSweep,
-    timing: &str,
-    kind: &str,
-    bound: u64,
-    bound_kind: &str,
-    gated: bool,
-    ok: bool,
-) -> Value {
-    let Value::Object(mut m) = sweep.to_json() else {
-        unreachable!("PairSweep::to_json returns an object");
-    };
-    m.insert("timing".to_string(), Value::from(timing));
-    m.insert("scenario".to_string(), Value::from(kind));
-    m.insert("bound".to_string(), Value::from(bound));
-    m.insert("bound_kind".to_string(), Value::from(bound_kind));
-    m.insert("gated".to_string(), Value::from(gated));
-    m.insert("bound_ok".to_string(), Value::from(ok));
-    Value::Object(m)
-}
-
-/// E0 — the one-command reproduction pipeline: all eight algorithms ×
-/// sync/async × symmetric/asymmetric across a universe-size ladder, every
-/// cell swept on the work-stealing orchestrator, measured worst cases
-/// checked against the Theorem 3 / §3.2 bounds, and the whole grid written
-/// to `REPRO_table1.json` + `REPRO_table1.md`.
-///
-/// Exits non-zero if any *gated* cell (a cell with a proven bound) missed
-/// its horizon or exceeded its bound — the CI contract.
-fn table1_pipeline(ctx: &Ctx) {
-    header(&format!(
-        "E0: reproduction pipeline — 8 algorithms × sync/async × asym/sym (tier: {:?})",
-        ctx.tier
-    ));
-    let (ns, shifts, seeds): (&[u64], u64, u64) = match ctx.tier {
-        Tier::Smoke => (&[8, 16], 16, 3),
-        Tier::Quick => (&[8, 16, 32], 48, 4),
-        Tier::Full => (&[8, 16, 32, 64, 128], 256, 6),
-    };
-    let k = 4usize;
-    // Printed for the operator but deliberately kept OUT of the artifacts:
-    // the parallel orchestrator's results are bit-identical at any thread
-    // count, and CI diffs the artifacts across machines to prove it.
-    println!(
-        "orchestrator: {} worker thread(s) detected; artifacts are thread-count invariant",
-        ParallelConfig::default().effective_threads(usize::MAX)
-    );
-    println!();
-
-    let mut rows = Vec::new();
-    let mut curves = Vec::new();
-    let mut violations: Vec<String> = Vec::new();
-    let mut md_rows = String::new();
-    println!(
-        "{:<16}{:<7}{:<11}{:>6}{:>12}{:>12}{:>12}  ok",
-        "algorithm", "timing", "scenario", "n", "maxTTR", "bound", "ratio"
-    );
-    for algo in PIPELINE_ALGOS {
-        for kind in ["asymmetric", "symmetric"] {
-            let mut points = Vec::new();
-            for &n in ns {
-                let scenario = if kind == "asymmetric" {
-                    workload::adversarial_overlap_one(n, k, k).expect("n ≥ 2k−1")
-                } else {
-                    workload::symmetric_pair(n, k, 0).expect("n ≥ k")
-                };
-                let (bound, bound_kind, gated) = cell_bound(algo, n, &scenario);
-                for timing in ["sync", "async"] {
-                    let cfg = SweepConfig {
-                        shifts: if timing == "sync" { 1 } else { shifts },
-                        shift_stride: 13,
-                        spread_over_period: timing == "async",
-                        seeds,
-                        horizon_override: 0,
-                        threads: 0,
-                    };
-                    let sweep = sweep_pair_ttr(algo, n, &scenario, &cfg).unwrap_or_else(|e| {
-                        panic!("pipeline cell {algo}/{timing}/{kind}/n={n}: {e}")
-                    });
-                    let ok = sweep.failures == 0 && sweep.summary.max <= bound;
-                    if gated && !ok {
-                        violations.push(format!(
-                            "{algo} ({timing}, {kind}, n={n}): max TTR {} vs bound {bound} \
-                             ({} horizon misses)",
-                            sweep.summary.max, sweep.failures
-                        ));
-                    }
-                    let ratio = sweep.summary.max as f64 / bound.max(1) as f64;
-                    println!(
-                        "{:<16}{:<7}{:<11}{:>6}{:>12}{:>12}{:>12.3}  {}",
-                        algo.to_string(),
-                        timing,
-                        kind,
-                        n,
-                        sweep.summary.max,
-                        bound,
-                        ratio,
-                        if ok { "yes" } else { "NO" }
-                    );
-                    md_rows.push_str(&format!(
-                        "| {algo} | {timing} | {kind} | {n} | {} | {} | {:.3} | {} | {} | {} |\n",
-                        sweep.summary.max,
-                        bound,
-                        ratio,
-                        sweep.summary.count,
-                        sweep.failures,
-                        if ok { "✓" } else { "✗" },
-                    ));
-                    if timing == "async" {
-                        points.push(Value::object([
-                            ("n", Value::from(n)),
-                            ("measured_max", Value::from(sweep.summary.max)),
-                            ("bound", Value::from(bound)),
-                        ]));
-                    }
-                    rows.push(row_json(&sweep, timing, kind, bound, bound_kind, gated, ok));
-                }
-            }
-            curves.push(Value::object([
-                ("algorithm", Value::from(algo.to_string())),
-                ("scenario", Value::from(kind)),
-                ("timing", Value::from("async")),
-                ("points", Value::Array(points)),
-            ]));
-        }
-    }
-
-    let tier_name = format!("{:?}", ctx.tier).to_lowercase();
-    let report = Value::object([
-        ("pipeline", Value::from("table1")),
-        (
-            "paper",
-            Value::from(
-                "Chen, Russell, Samanta, Sundaram — Deterministic Blind Rendezvous in \
-                 Cognitive Radio Networks (ICDCS 2014)",
-            ),
-        ),
-        ("tier", Value::from(tier_name.clone())),
-        (
-            "config",
-            Value::object([
-                (
-                    "ns",
-                    Value::Array(ns.iter().map(|&n| Value::from(n)).collect()),
-                ),
-                ("shifts", Value::from(shifts)),
-                ("seeds", Value::from(seeds)),
-                ("k", Value::from(k)),
-            ]),
-        ),
-        ("rows", Value::Array(rows)),
-        ("curves", Value::Array(curves)),
-        (
-            "violations",
-            Value::Array(violations.iter().map(|v| Value::from(v.as_str())).collect()),
-        ),
-    ]);
-
-    std::fs::create_dir_all(&ctx.out_dir)
-        .unwrap_or_else(|e| panic!("creating {}: {e}", ctx.out_dir.display()));
-    let json_path = ctx.out_dir.join("REPRO_table1.json");
-    std::fs::write(&json_path, serde_json::to_string_pretty(&report) + "\n")
-        .unwrap_or_else(|e| panic!("writing {}: {e}", json_path.display()));
-
-    let md_path = ctx.out_dir.join("REPRO_table1.md");
-    let verdict = if violations.is_empty() {
-        "**All gated cells respect their proven bounds.**".to_string()
-    } else {
-        format!(
-            "**{} bound violation(s):**\n\n{}",
-            violations.len(),
-            violations
-                .iter()
-                .map(|v| format!("- {v}"))
-                .collect::<Vec<_>>()
-                .join("\n")
-        )
-    };
-    let md = format!(
-        "# Paper reproduction — Table 1 comparison (tier: {tier_name})\n\n\
-         Regenerate with `cargo run --release --bin repro -- --{tier_name} table1`\n\
-         (drop the tier flag for the full paper-scale grid). Machine-readable\n\
-         twin: `REPRO_table1.json`. Cells marked *gated* carry a proven bound\n\
-         (Theorem 3, §3.2); a gated ✗ fails the pipeline, and CI runs it on\n\
-         every push.\n\n\
-         Sweeps ran on the work-stealing orchestrator; results (and this\n\
-         file) are bit-identical at any worker thread count.\n\n\
-         | algorithm | timing | scenario | n | max TTR | bound | max/bound | samples | misses | ok |\n\
-         |---|---|---|---|---|---|---|---|---|---|\n\
-         {md_rows}\n\
-         {verdict}\n"
-    );
-    std::fs::write(&md_path, md).unwrap_or_else(|e| panic!("writing {}: {e}", md_path.display()));
-
+/// Writes one pipeline's artifact pair and enforces its gate: any proven
+/// bound violation exits non-zero — the CI contract.
+fn run_pipeline(ctx: &Ctx, out: PipelineOutput, stem: &str) {
+    let (json_path, md_path) = report::write_artifacts(&ctx.out_dir, stem, &out);
     println!();
     println!(
         "wrote {} and {} ({} gated violations)",
         json_path.display(),
         md_path.display(),
-        violations.len()
+        out.violations.len()
     );
-    if !violations.is_empty() {
-        for v in &violations {
+    if !out.violations.is_empty() {
+        for v in &out.violations {
             eprintln!("BOUND VIOLATION: {v}");
         }
         std::process::exit(1);
     }
+}
+
+/// `repro trend OLD NEW`: loads two artifact JSONs and reports how much
+/// bound headroom moved per matched row id.
+fn trend(old_path: &str, new_path: &str) {
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("reading {path}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("parsing {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    match report::trend(&old, &new) {
+        Ok(t) => print!("{}", t.render()),
+        Err(e) => {
+            eprintln!("trend: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+    println!();
 }
 
 /// E1 — Table 1, asymmetric column: worst/mean TTR vs n per algorithm,
@@ -818,77 +605,4 @@ fn beacon(ctx: &Ctx) {
     }
     println!();
     println!("reproduction check: both grow mildly with k; B's dependence on n is additive, A's multiplicative.");
-}
-
-/// E13 — the appendix's one-round SDP.
-fn sdp_experiment(ctx: &Ctx) {
-    header("E13: one-round SDP — 0.439-approximation vs exact optimum vs 0.25 random baseline");
-    println!(
-        "{:<22}{:>6}{:>8}{:>10}{:>10}{:>10}{:>8}",
-        "instance", "m", "exact", "sdp val", "rounded", "rand E", "ratio"
-    );
-    let mut instances: Vec<(String, OrientGraph)> = vec![
-        (
-            "star-6".into(),
-            OrientGraph::new(7, (1..=6).map(|v| (v, 0)).collect()).expect("valid"),
-        ),
-        (
-            "cycle-7".into(),
-            OrientGraph::new(7, (0..7).map(|i| (i, (i + 1) % 7)).collect()).expect("valid"),
-        ),
-        (
-            "K4".into(),
-            OrientGraph::new(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-                .expect("valid"),
-        ),
-    ];
-    let extra = if ctx.quick() { 2 } else { 5 };
-    for i in 0..extra {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + i);
-        let nv = rng.gen_range(5..9usize);
-        let ne = rng.gen_range(6..13usize);
-        let edges: Vec<(u32, u32)> = (0..ne)
-            .map(|_| {
-                let u = rng.gen_range(0..nv as u32);
-                let mut v = rng.gen_range(0..nv as u32);
-                while v == u {
-                    v = rng.gen_range(0..nv as u32);
-                }
-                (u, v)
-            })
-            .collect();
-        instances.push((
-            format!("random-{i}"),
-            OrientGraph::new(nv, edges).expect("valid"),
-        ));
-    }
-    let mut min_ratio = f64::INFINITY;
-    for (name, g) in &instances {
-        let opt = exact_max_in_pairs(g);
-        let res = solve(g, &SdpConfig::default());
-        let (rand_e, _) = random_orientation_value(g, 64, 7);
-        let ratio = if opt > 0 {
-            res.in_pairs as f64 / opt as f64
-        } else {
-            1.0
-        };
-        min_ratio = min_ratio.min(ratio);
-        println!(
-            "{:<22}{:>6}{:>8}{:>10.2}{:>10}{:>10.2}{:>8.3}",
-            name,
-            g.n_edges(),
-            opt,
-            res.sdp_value,
-            res.in_pairs,
-            rand_e,
-            ratio
-        );
-    }
-    println!();
-    println!(
-        "reproduction check: min ratio {:.3} ≥ 0.439 (appendix guarantee); random baseline sits near optimum/4.",
-        min_ratio
-    );
-    assert!(min_ratio >= 0.439, "approximation guarantee violated");
 }

@@ -44,6 +44,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pipelines;
+pub mod report;
+
 pub use rdv_baselines as baselines;
 pub use rdv_beacon as beacon;
 pub use rdv_core as core;

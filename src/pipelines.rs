@@ -1,0 +1,867 @@
+//! The artifact-emitting reproduction pipelines behind the `repro`
+//! driver: [`table1`] (measured TTR vs proven upper bounds), [`lower`]
+//! (the Section 4 lower-bound harnesses and the sandwich invariant), and
+//! [`sdp`] (the appendix's one-round SDP relaxation) — all three sharing
+//! the [`crate::report`] artifact schema and the work-stealing
+//! orchestrator, so every artifact is bit-identical at any worker thread
+//! count.
+//!
+//! Living in the library (not the `repro` binary) so the test suite can
+//! run the pipelines in-process: `tests/repro_determinism.rs` executes
+//! each one at 1 and 8 threads and asserts byte-identical JSON, the
+//! `cargo test` twin of CI's artifact diff.
+
+use crate::report::{self, Artifact, PipelineOutput, Tier};
+use rdv_core::channel::ChannelSet;
+use rdv_core::general::GeneralSchedule;
+use rdv_core::symmetric::SymmetricWrapped;
+use rdv_sim::sweep::{sweep_lower_bound, sweep_pair_ttr, LowerSweepConfig, SweepConfig};
+use rdv_sim::workload::{self, PairScenario};
+use rdv_sim::Algorithm;
+use serde_json::Value;
+
+/// Every algorithm the pipelines reproduce — the Table 1 rows plus the
+/// randomized strawman and the two beacon protocols.
+pub const PIPELINE_ALGOS: [Algorithm; 8] = [
+    Algorithm::Ours,
+    Algorithm::OursSymmetric,
+    Algorithm::Crseq,
+    Algorithm::JumpStay,
+    Algorithm::Drds,
+    Algorithm::Random,
+    Algorithm::BeaconA,
+    Algorithm::BeaconB,
+];
+
+/// The channel-set size of every measurement-grid scenario — shared (like
+/// [`grid_dimensions`]) by the `table1` and `lower` pipelines and the
+/// sandwich test suite so their cells line up one-to-one.
+pub const GRID_K: usize = 4;
+
+/// The universe ladder, shift count, and seed count of the measurement
+/// grids at each tier — shared by the `table1` and `lower` pipelines so
+/// their cells line up one-to-one.
+pub fn grid_dimensions(tier: Tier) -> (&'static [u64], u64, u64) {
+    match tier {
+        Tier::Smoke => (&[8, 16], 16, 3),
+        Tier::Quick => (&[8, 16, 32], 48, 4),
+        Tier::Full => (&[8, 16, 32, 64, 128], 256, 6),
+    }
+}
+
+/// The pipeline grid's scenario for one (kind, n) cell: the Theorem 7
+/// adversarial overlap-one pair, or the seed-0 symmetric pair.
+pub fn grid_scenario(kind: &str, n: u64, k: usize) -> PairScenario {
+    if kind == "asymmetric" {
+        workload::adversarial_overlap_one(n, k, k).expect("n ≥ 2k−1")
+    } else {
+        workload::symmetric_pair(n, k, 0).expect("n ≥ k")
+    }
+}
+
+/// The upper bound a pipeline cell is measured against: the slot count, a
+/// label for the artifact, and whether the row is *gated* (a proven bound
+/// whose violation fails the pipeline) or merely recorded.
+pub fn cell_bound(algo: Algorithm, n: u64, scenario: &PairScenario) -> (u64, &'static str, bool) {
+    let (k, ell) = (scenario.a.len(), scenario.b.len());
+    match algo {
+        Algorithm::Ours => {
+            let s = GeneralSchedule::asynchronous(n, scenario.a.clone()).expect("valid scenario");
+            (s.ttr_bound(ell), "Theorem 3: O(|A||B| log log n)", true)
+        }
+        Algorithm::OursSymmetric => {
+            if scenario.a == scenario.b {
+                (
+                    SymmetricWrapped::<GeneralSchedule>::SYMMETRIC_TTR_BOUND,
+                    "§3.2: O(1) symmetric",
+                    true,
+                )
+            } else {
+                let base =
+                    GeneralSchedule::asynchronous(n, scenario.a.clone()).expect("valid scenario");
+                (
+                    rdv_core::symmetric::BLOWUP * base.ttr_bound(ell)
+                        + 2 * rdv_core::symmetric::BLOWUP,
+                    "§3.2 wrap: 12× Theorem 3 + O(1)",
+                    true,
+                )
+            }
+        }
+        // The baseline reconstructions are faithful in period structure but
+        // their paywalled proofs could not be transcribed (see
+        // rdv-baselines); their generous guarantee horizons are recorded and
+        // *reported* against, not gated.
+        Algorithm::Crseq | Algorithm::JumpStay | Algorithm::Drds => (
+            algo.horizon(n, k, ell),
+            "guarantee horizon (reconstruction, empirical)",
+            false,
+        ),
+        Algorithm::Random | Algorithm::BeaconA | Algorithm::BeaconB => {
+            (algo.horizon(n, k, ell), "w.h.p. horizon (not gated)", false)
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+    println!();
+}
+
+/// E0 — the Table 1 reproduction pipeline: all eight algorithms ×
+/// sync/async × symmetric/asymmetric across a universe-size ladder, every
+/// cell swept on the work-stealing orchestrator and its measured worst
+/// case checked against the Theorem 3 / §3.2 bounds.
+pub mod table1 {
+    use super::*;
+
+    /// One pipeline row as JSON: the sweep's own fields plus the cell
+    /// context and the schema's `id`/`measured` trend keys.
+    #[allow(clippy::too_many_arguments)]
+    fn row_json(
+        sweep: &rdv_sim::PairSweep,
+        timing: &str,
+        kind: &str,
+        bound: u64,
+        bound_kind: &'static str,
+        gated: bool,
+        ok: bool,
+    ) -> Value {
+        let Value::Object(mut m) = sweep.to_json() else {
+            unreachable!("PairSweep::to_json returns an object");
+        };
+        m.insert(
+            "id".to_string(),
+            Value::from(report::cell_id(
+                &sweep.algorithm.to_string(),
+                timing,
+                kind,
+                sweep.n,
+            )),
+        );
+        m.insert("measured".to_string(), Value::from(sweep.summary.max));
+        m.insert("timing".to_string(), Value::from(timing));
+        m.insert("scenario".to_string(), Value::from(kind));
+        m.insert("bound".to_string(), Value::from(bound));
+        m.insert("bound_kind".to_string(), Value::from(bound_kind));
+        m.insert("gated".to_string(), Value::from(gated));
+        m.insert("bound_ok".to_string(), Value::from(ok));
+        Value::Object(m)
+    }
+
+    /// Runs the pipeline at `tier` on `threads` workers (0 = auto) and
+    /// returns the artifact pair; the caller writes and gates it.
+    pub fn run(tier: Tier, threads: usize) -> PipelineOutput {
+        header(&format!(
+            "E0: reproduction pipeline — 8 algorithms × sync/async × asym/sym (tier: {})",
+            tier.name()
+        ));
+        let (ns, shifts, seeds) = grid_dimensions(tier);
+        let k = GRID_K;
+        let mut artifact = Artifact::new("table1", tier);
+        let mut rows = Vec::new();
+        let mut curves = Vec::new();
+        let mut md_rows = String::new();
+        println!(
+            "{:<16}{:<7}{:<11}{:>6}{:>12}{:>12}{:>12}  ok",
+            "algorithm", "timing", "scenario", "n", "maxTTR", "bound", "ratio"
+        );
+        for algo in PIPELINE_ALGOS {
+            for kind in ["asymmetric", "symmetric"] {
+                let mut points = Vec::new();
+                for &n in ns {
+                    let scenario = grid_scenario(kind, n, k);
+                    let (bound, bound_kind, gated) = cell_bound(algo, n, &scenario);
+                    for timing in ["sync", "async"] {
+                        let cfg = SweepConfig {
+                            shifts: if timing == "sync" { 1 } else { shifts },
+                            shift_stride: 13,
+                            spread_over_period: timing == "async",
+                            seeds,
+                            horizon_override: 0,
+                            threads,
+                        };
+                        let sweep = sweep_pair_ttr(algo, n, &scenario, &cfg).unwrap_or_else(|e| {
+                            panic!("pipeline cell {algo}/{timing}/{kind}/n={n}: {e}")
+                        });
+                        let ok = sweep.failures == 0 && sweep.summary.max <= bound;
+                        if gated && !ok {
+                            artifact.violation(format!(
+                                "{algo} ({timing}, {kind}, n={n}): max TTR {} vs bound {bound} \
+                                 ({} horizon misses)",
+                                sweep.summary.max, sweep.failures
+                            ));
+                        }
+                        let ratio = sweep.summary.max as f64 / bound.max(1) as f64;
+                        println!(
+                            "{:<16}{:<7}{:<11}{:>6}{:>12}{:>12}{:>12.3}  {}",
+                            algo.to_string(),
+                            timing,
+                            kind,
+                            n,
+                            sweep.summary.max,
+                            bound,
+                            ratio,
+                            if ok { "yes" } else { "NO" }
+                        );
+                        md_rows.push_str(&format!(
+                            "| {algo} | {timing} | {kind} | {n} | {} | {} | {:.3} | {} | {} | {} |\n",
+                            sweep.summary.max,
+                            bound,
+                            ratio,
+                            sweep.summary.count,
+                            sweep.failures,
+                            if ok { "✓" } else { "✗" },
+                        ));
+                        if timing == "async" {
+                            points.push(Value::object([
+                                ("n", Value::from(n)),
+                                ("measured_max", Value::from(sweep.summary.max)),
+                                ("bound", Value::from(bound)),
+                            ]));
+                        }
+                        rows.push(row_json(&sweep, timing, kind, bound, bound_kind, gated, ok));
+                    }
+                }
+                curves.push(Value::object([
+                    ("algorithm", Value::from(algo.to_string())),
+                    ("scenario", Value::from(kind)),
+                    ("timing", Value::from("async")),
+                    ("points", Value::Array(points)),
+                ]));
+            }
+        }
+
+        artifact.section(
+            "config",
+            Value::object([
+                (
+                    "ns",
+                    Value::Array(ns.iter().map(|&n| Value::from(n)).collect()),
+                ),
+                ("shifts", Value::from(shifts)),
+                ("seeds", Value::from(seeds)),
+                ("k", Value::from(k)),
+            ]),
+        );
+        artifact.section("rows", Value::Array(rows));
+        artifact.section("curves", Value::Array(curves));
+
+        let md = format!(
+            "{}| algorithm | timing | scenario | n | max TTR | bound | max/bound | samples | misses | ok |\n\
+             |---|---|---|---|---|---|---|---|---|---|\n\
+             {md_rows}\n\
+             {}\n",
+            artifact.preamble_markdown(
+                "Paper reproduction — Table 1 comparison",
+                "REPRO_table1",
+                "Cells marked *gated* carry a proven bound\n\
+                 (Theorem 3, §3.2); a gated ✗ fails the pipeline, and CI runs it on\n\
+                 every push.",
+            ),
+            artifact.verdict_markdown()
+        );
+        artifact.finish(md)
+    }
+}
+
+/// The lower-bound pipeline: the Section 4 harnesses (covering/density,
+/// exact small-case, pigeonhole, Ramsey bridge) wired into the same grid
+/// and artifact schema as `table1`, checking the *sandwich invariant*
+/// `certified lower ≤ measured ≤ proven upper` on every gridded cell.
+pub mod lower {
+    use super::*;
+    use rdv_lower::{density, exact, pigeonhole, ramsey_bridge};
+
+    /// Exhaustive-shift cap and sampled-shift count per tier.
+    fn shift_dimensions(tier: Tier) -> (u64, u64) {
+        match tier {
+            Tier::Smoke => (256, 16),
+            Tier::Quick => (1024, 48),
+            Tier::Full => (4096, 256),
+        }
+    }
+
+    /// The measurement grid: one lower-bound cell per `table1` cell.
+    fn grid_cells(artifact: &mut Artifact, threads: usize) -> Vec<Value> {
+        let (ns, _, _) = grid_dimensions(artifact.tier());
+        let (max_exhaustive, sampled) = shift_dimensions(artifact.tier());
+        let k = GRID_K;
+        let mut rows = Vec::new();
+        println!(
+            "{:<16}{:<7}{:<11}{:>6}{:>10}{:>12}{:>12}  sandwich",
+            "algorithm", "timing", "scenario", "n", "lower", "measured", "upper"
+        );
+        for algo in PIPELINE_ALGOS {
+            for kind in ["asymmetric", "symmetric"] {
+                for &n in ns {
+                    let scenario = grid_scenario(kind, n, k);
+                    let (upper, upper_kind, gated) = cell_bound(algo, n, &scenario);
+                    for timing in ["sync", "async"] {
+                        let cfg = LowerSweepConfig {
+                            sync: timing == "sync",
+                            max_exhaustive_shifts: max_exhaustive,
+                            sampled_shifts: sampled,
+                            horizon_override: 0,
+                            threads,
+                        };
+                        let cell =
+                            sweep_lower_bound(algo, n, &scenario, &cfg).unwrap_or_else(|e| {
+                                panic!("lower cell {algo}/{timing}/{kind}/n={n}: {e}")
+                            });
+                        let lower_ok = cell.lower_slice_ok();
+                        let upper_ok = cell.failures == 0 && cell.witness_ttr <= upper;
+                        let ok = lower_ok && (!gated || upper_ok);
+                        if !lower_ok {
+                            artifact.violation(format!(
+                                "{algo} ({timing}, {kind}, n={n}): certified lower bound {} \
+                                 exceeds the exhaustively measured worst case {}",
+                                cell.certified_bound, cell.witness_ttr
+                            ));
+                        }
+                        if gated && !upper_ok {
+                            artifact.violation(format!(
+                                "{algo} ({timing}, {kind}, n={n}): measured {} vs upper bound \
+                                 {upper} ({} horizon misses)",
+                                cell.witness_ttr, cell.failures
+                            ));
+                        }
+                        println!(
+                            "{:<16}{:<7}{:<11}{:>6}{:>10}{:>12}{:>12}  {}",
+                            algo.to_string(),
+                            timing,
+                            kind,
+                            n,
+                            cell.certified_bound,
+                            cell.witness_ttr,
+                            upper,
+                            if ok { "yes" } else { "NO" }
+                        );
+                        let Value::Object(mut m) = cell.to_json() else {
+                            unreachable!("LowerBoundSweep::to_json returns an object");
+                        };
+                        m.insert(
+                            "id".to_string(),
+                            Value::from(report::cell_id(&algo.to_string(), timing, kind, n)),
+                        );
+                        m.insert("timing".to_string(), Value::from(timing));
+                        m.insert("scenario".to_string(), Value::from(kind));
+                        m.insert("bound".to_string(), Value::from(upper));
+                        m.insert("bound_kind".to_string(), Value::from(upper_kind));
+                        m.insert("gated".to_string(), Value::from(gated));
+                        m.insert("sandwich_ok".to_string(), Value::from(ok));
+                        rows.push(Value::Object(m));
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Exact `R_s(n,2)` / cyclic `R_a(n,2)` optima by exhaustive search —
+    /// Theorem 4's empirical companion, gated on monotone growth.
+    fn exact_section(artifact: &mut Artifact) -> Vec<Value> {
+        let (max_n_sync, budget) = match artifact.tier() {
+            Tier::Smoke => (5u64, 1u64 << 22),
+            Tier::Quick => (6, 1 << 24),
+            Tier::Full => (8, 1 << 26),
+        };
+        let max_n_cyclic = 3; // n = 4 already needs a cyclic period > 2^6
+        let mut rows = Vec::new();
+        let mut last_optimal = 0u32;
+        println!();
+        println!("{:<6}{:>12}{:>18}", "n", "R_s(n,2)", "cyclic R_a(n,2)");
+        for n in 2..=max_n_sync {
+            let outcome_str = |o: exact::SearchOutcome| match o {
+                exact::SearchOutcome::Optimal(t) => t.to_string(),
+                other => format!("{other:?}"),
+            };
+            let rs = exact::exact_rs_n2(n, 5, budget);
+            if let exact::SearchOutcome::Optimal(t) = rs {
+                if t < last_optimal {
+                    artifact.violation(format!(
+                        "exact R_s({n},2) = {t} dropped below R_s({},2) = {last_optimal} — \
+                         Theorem 4 demands monotone growth",
+                        n - 1
+                    ));
+                }
+                last_optimal = t;
+            }
+            let ra = if n <= max_n_cyclic {
+                Some(exact::exact_ra_n2_cyclic(n, 6, budget))
+            } else {
+                None
+            };
+            println!(
+                "{:<6}{:>12}{:>18}",
+                n,
+                outcome_str(rs),
+                ra.map_or("-".to_string(), outcome_str)
+            );
+            rows.push(Value::object([
+                ("id", Value::from(format!("exact/rs/n={n}"))),
+                ("n", Value::from(n)),
+                ("rs", Value::from(outcome_str(rs))),
+                (
+                    "ra_cyclic",
+                    ra.map_or(Value::Null, |o| Value::from(outcome_str(o))),
+                ),
+            ]));
+        }
+        rows
+    }
+
+    /// Theorem 6 pigeonhole certificates against concrete families; the
+    /// deliberately weak round-robin family must be certified slow.
+    fn pigeonhole_section(artifact: &mut Artifact) -> Vec<Value> {
+        let n = match artifact.tier() {
+            Tier::Smoke => 16u64,
+            Tier::Quick => 32,
+            Tier::Full => 64,
+        };
+        let mut rows = Vec::new();
+        println!();
+        println!(
+            "{:<26}{:>4}{:>4}{:>18}",
+            "pigeonhole family", "k", "α", "certified bound"
+        );
+        let round_robin = |set: &ChannelSet| {
+            rdv_core::schedule::CyclicSchedule::new(set.iter().collect()).expect("non-empty")
+        };
+        let ours =
+            |set: &ChannelSet| GeneralSchedule::synchronous(n, set.clone()).expect("valid set");
+        let mut run_family = |name: &str, grid: &[(usize, usize)], is_round_robin: bool| {
+            for &(k, alpha) in grid {
+                let witness = if is_round_robin {
+                    pigeonhole::certify(&round_robin, n, k, alpha)
+                } else {
+                    pigeonhole::certify(&ours, n, k, alpha)
+                };
+                let certified = witness.as_ref().map(|w| w.certified_bound);
+                if is_round_robin && witness.is_none() {
+                    artifact.violation(format!(
+                        "pigeonhole: round-robin family dodged the k={k}, α={alpha} witness at \
+                         n={n} — the construction must certify it"
+                    ));
+                }
+                println!(
+                    "{:<26}{:>4}{:>4}{:>18}",
+                    name,
+                    k,
+                    alpha,
+                    certified.map_or("no witness".to_string(), |b| b.to_string())
+                );
+                rows.push(Value::object([
+                    (
+                        "id",
+                        Value::from(format!("pigeonhole/{name}/k={k}/alpha={alpha}")),
+                    ),
+                    ("family", Value::from(name.to_string())),
+                    ("n", Value::from(n)),
+                    ("k", Value::from(k)),
+                    ("alpha", Value::from(alpha)),
+                    ("certified", certified.map_or(Value::Null, Value::from)),
+                    (
+                        "s_hat",
+                        witness.map_or(Value::Null, |w| {
+                            Value::Array(
+                                w.s_hat.as_slice().iter().map(|&c| Value::from(c)).collect(),
+                            )
+                        }),
+                    ),
+                ]));
+            }
+        };
+        run_family("round-robin", &[(2, 2), (3, 2), (4, 2)], true);
+        run_family("ours-sync", &[(2, 2), (3, 2)], false);
+        rows
+    }
+
+    /// Theorem 7 density witnesses against the paper's construction:
+    /// worst overlap-one pairs must sit between the `Ω(kℓ)` barrier and
+    /// the Theorem 3 bound.
+    fn density_section(artifact: &mut Artifact) -> Vec<Value> {
+        let n = 24u64;
+        let grid: &[(usize, usize)] = match artifact.tier() {
+            Tier::Smoke => &[(2, 2), (3, 3)],
+            Tier::Quick => &[(2, 2), (2, 4), (3, 3), (4, 4)],
+            Tier::Full => &[(2, 2), (2, 4), (3, 3), (4, 4), (4, 6), (6, 6)],
+        };
+        let family =
+            move |set: &ChannelSet| GeneralSchedule::asynchronous(n, set.clone()).expect("valid");
+        let mut rows = Vec::new();
+        println!();
+        println!(
+            "{:<14}{:>6}{:>10}{:>12}{:>14}",
+            "density k,l", "k*l", "worstTTR", "TTR/(k*l)", "Thm3 bound"
+        );
+        for &(k, l) in grid {
+            let w = density::worst_overlap_one_pair(&family, n, k, l, 1 << 22, 5, 128)
+                .expect("witness");
+            let bound = family(&w.a).ttr_bound(l);
+            if w.ttr > bound {
+                artifact.violation(format!(
+                    "density witness k={k}, l={l}: TTR {} exceeds the Theorem 3 bound {bound}",
+                    w.ttr
+                ));
+            }
+            println!(
+                "{:<14}{:>6}{:>10}{:>12.2}{:>14}",
+                format!("{k},{l}"),
+                k * l,
+                w.ttr,
+                w.barrier_ratio,
+                bound
+            );
+            rows.push(Value::object([
+                ("id", Value::from(format!("density/k={k}/l={l}"))),
+                ("n", Value::from(n)),
+                ("k", Value::from(k)),
+                ("ell", Value::from(l)),
+                ("measured", Value::from(w.ttr)),
+                ("bound", Value::from(bound)),
+                ("witness_shift", Value::from(w.shift)),
+                ("barrier_ratio", Value::from(w.barrier_ratio)),
+                ("h", Value::from(w.h)),
+            ]));
+        }
+        rows
+    }
+
+    /// Theorem 4's Ramsey attack: the oblivious alternation family must
+    /// produce a verified monochromatic 2-path certificate; the paper's
+    /// pair family must survive the attack at its full period.
+    fn ramsey_section(artifact: &mut Artifact) -> Vec<Value> {
+        let mut rows = Vec::new();
+        println!();
+        println!(
+            "{:<26}{:>6}{:>10}{:>12}",
+            "ramsey family", "n", "horizon", "outcome"
+        );
+        // The family Theorem 4 demolishes: every pair alternates.
+        let oblivious = |a: u64, b: u64| {
+            rdv_core::schedule::CyclicSchedule::new(vec![
+                rdv_core::channel::Channel::new(a),
+                rdv_core::channel::Channel::new(b),
+            ])
+            .expect("non-empty")
+        };
+        let horizon = 8u64;
+        let attack = ramsey_bridge::monochromatic_failure(&oblivious, 4, horizon);
+        let verified = attack
+            .as_ref()
+            .is_some_and(|w| ramsey_bridge::verify_failure(&oblivious, w, horizon));
+        if !verified {
+            artifact.violation(
+                "ramsey: the oblivious family escaped the Theorem 4 attack it cannot escape"
+                    .to_string(),
+            );
+        }
+        println!(
+            "{:<26}{:>6}{:>10}{:>12}",
+            "oblivious (alternating)",
+            4,
+            horizon,
+            if verified { "doomed" } else { "ESCAPED" }
+        );
+        rows.push(Value::object([
+            ("id", Value::from("ramsey/oblivious/n=4")),
+            ("family", Value::from("oblivious")),
+            ("n", Value::from(4u64)),
+            ("horizon", Value::from(horizon)),
+            ("witness_verified", Value::from(verified)),
+        ]));
+        let ns: &[u64] = match artifact.tier() {
+            Tier::Smoke => &[4, 8],
+            Tier::Quick => &[4, 8, 16],
+            Tier::Full => &[4, 8, 16, 32],
+        };
+        for &n in ns {
+            let fam = rdv_core::pair::PairFamily::new(n).expect("n ≥ 2");
+            let period = fam.period();
+            let family = move |a: u64, b: u64| fam.schedule(a, b).expect("valid pair");
+            let attack = ramsey_bridge::monochromatic_failure(&family, n, period);
+            let survived = match &attack {
+                None => true,
+                Some(w) => !ramsey_bridge::verify_failure(&family, w, period),
+            };
+            if !survived {
+                artifact.violation(format!(
+                    "ramsey: a Theorem 4 witness verified against the paper's pair family at n={n}"
+                ));
+            }
+            println!(
+                "{:<26}{:>6}{:>10}{:>12}",
+                "ours (PairFamily)",
+                n,
+                period,
+                if survived { "survives" } else { "DOOMED" }
+            );
+            rows.push(Value::object([
+                ("id", Value::from(format!("ramsey/pair-family/n={n}"))),
+                ("family", Value::from("pair-family")),
+                ("n", Value::from(n)),
+                ("horizon", Value::from(period)),
+                ("survives", Value::from(survived)),
+            ]));
+        }
+        rows
+    }
+
+    /// Runs the pipeline at `tier` on `threads` workers (0 = auto) and
+    /// returns the artifact pair; the caller writes and gates it.
+    pub fn run(tier: Tier, threads: usize) -> PipelineOutput {
+        header(&format!(
+            "lower-bound pipeline — sandwich invariant over the table1 grid (tier: {})",
+            tier.name()
+        ));
+        let (ns, _, _) = grid_dimensions(tier);
+        let (max_exhaustive, sampled) = shift_dimensions(tier);
+        let mut artifact = Artifact::new("lower", tier);
+        artifact.section(
+            "config",
+            Value::object([
+                (
+                    "ns",
+                    Value::Array(ns.iter().map(|&n| Value::from(n)).collect()),
+                ),
+                ("max_exhaustive_shifts", Value::from(max_exhaustive)),
+                ("sampled_shifts", Value::from(sampled)),
+                ("k", Value::from(GRID_K)),
+            ]),
+        );
+        let cells = grid_cells(&mut artifact, threads);
+        let exact = exact_section(&mut artifact);
+        let pigeonhole = pigeonhole_section(&mut artifact);
+        let density = density_section(&mut artifact);
+        let ramsey = ramsey_section(&mut artifact);
+
+        let mut md_rows = String::new();
+        for cell in &cells {
+            let g = |k: &str| cell.get(k).cloned().unwrap_or(Value::Null);
+            md_rows.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                g("id").as_str().unwrap_or("?"),
+                g("lower").as_u64().unwrap_or(0),
+                g("measured").as_u64().unwrap_or(0),
+                g("bound").as_u64().unwrap_or(0),
+                if g("exhaustive") == Value::Bool(true) {
+                    "exhaustive"
+                } else {
+                    "sampled"
+                },
+                if g("sandwich_ok") == Value::Bool(true) {
+                    "✓"
+                } else {
+                    "✗"
+                },
+            ));
+        }
+        artifact.section("cells", Value::Array(cells));
+        artifact.section("exact", Value::Array(exact));
+        artifact.section("pigeonhole", Value::Array(pigeonhole));
+        artifact.section("density", Value::Array(density));
+        artifact.section("ramsey", Value::Array(ramsey));
+
+        let md = format!(
+            "{}Every gridded cell checks the **sandwich invariant**\n\
+             `certified lower ≤ measured worst TTR ≤ proven upper bound`: the lower\n\
+             slice is the Theorem 7 covering bound (certified only on cells whose\n\
+             shift sweep is exhaustive), the upper slice the Theorem 3 / §3.2 bound\n\
+             on gated rows. The artifact also carries the exact `R_s(n,2)` optima\n\
+             (Theorem 4), pigeonhole certificates (Theorem 6), density witnesses\n\
+             (Theorem 7), and the Ramsey-bridge attack (Theorem 4).\n\n\
+             | cell | lower | measured | upper | shifts | sandwich |\n\
+             |---|---|---|---|---|---|\n\
+             {md_rows}\n\
+             {}\n",
+            artifact.preamble_markdown(
+                "Paper reproduction — Section 4 lower bounds",
+                "REPRO_lower",
+                "A sandwich violation on any cell, or a failed Theorem 4/6/7\n\
+                 certificate, fails the pipeline.",
+            ),
+            artifact.verdict_markdown()
+        );
+        artifact.finish(md)
+    }
+}
+
+/// The SDP pipeline: the appendix's one-round 0.439-approximation,
+/// re-solved on the named graph families plus seeded random instances,
+/// with exact optima and the 0.25 random baseline — instances sharded
+/// onto the work-stealing orchestrator.
+pub mod sdp {
+    use super::*;
+    use rdv_sdp::{exact_max_in_pairs, random_orientation_value, solve, OrientGraph, SdpConfig};
+    use rdv_sim::{pool, ParallelConfig};
+
+    /// The appendix's approximation guarantee: `0.878 / 2`.
+    pub const GUARANTEE: f64 = 0.439;
+
+    /// The instance families at `tier`: stable-named small graphs plus
+    /// seeded random multigraphs (more of them at bigger tiers).
+    fn instances(tier: Tier) -> Vec<(String, OrientGraph)> {
+        let mut out: Vec<(String, OrientGraph)> = vec![
+            (
+                "star-6".into(),
+                OrientGraph::new(7, (1..=6).map(|v| (v, 0)).collect()).expect("valid"),
+            ),
+            (
+                "cycle-7".into(),
+                OrientGraph::new(7, (0..7).map(|i| (i, (i + 1) % 7)).collect()).expect("valid"),
+            ),
+            (
+                "K4".into(),
+                OrientGraph::new(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+                    .expect("valid"),
+            ),
+            (
+                "path-6".into(),
+                OrientGraph::new(6, (0..5).map(|i| (i, i + 1)).collect()).expect("valid"),
+            ),
+        ];
+        let extra = match tier {
+            Tier::Smoke => 2,
+            Tier::Quick => 4,
+            Tier::Full => 6,
+        };
+        for i in 0..extra {
+            out.push((
+                format!("random-{i}"),
+                OrientGraph::seeded_random(1000 + i, 5..9, 6..13),
+            ));
+        }
+        out
+    }
+
+    /// Runs the pipeline at `tier` on `threads` workers (0 = auto) and
+    /// returns the artifact pair; the caller writes and gates it.
+    pub fn run(tier: Tier, threads: usize) -> PipelineOutput {
+        header(&format!(
+            "SDP pipeline — one-round 0.439-approximation vs exact optimum (tier: {})",
+            tier.name()
+        ));
+        let mut artifact = Artifact::new("sdp", tier);
+        let instances = instances(tier);
+        artifact.section(
+            "config",
+            Value::object([
+                ("instances", Value::from(instances.len())),
+                ("guarantee", Value::from(GUARANTEE)),
+                (
+                    "solver",
+                    Value::from("Burer–Monteiro projected gradient + hyperplane rounding"),
+                ),
+            ]),
+        );
+        // One task per instance on the orchestrator; results merge back in
+        // instance order, so the artifact is thread-count invariant.
+        let solved: Vec<(usize, f64, usize, usize, f64, usize)> = pool::run_indexed(
+            instances.iter().map(|(_, g)| g).collect(),
+            &ParallelConfig { threads },
+            |_idx, g| {
+                let opt = exact_max_in_pairs(g);
+                let res = solve(g, &SdpConfig::default());
+                let (rand_expected, rand_best) = random_orientation_value(g, 64, 7);
+                (
+                    opt,
+                    res.sdp_value,
+                    res.in_pairs,
+                    res.in_plus_out,
+                    rand_expected,
+                    rand_best,
+                )
+            },
+        );
+
+        let mut rows = Vec::new();
+        let mut md_rows = String::new();
+        let mut min_ratio = f64::INFINITY;
+        println!(
+            "{:<12}{:>6}{:>8}{:>10}{:>10}{:>10}{:>8}",
+            "instance", "m", "exact", "sdp val", "rounded", "rand E", "ratio"
+        );
+        for ((name, g), (opt, sdp_value, in_pairs, in_plus_out, rand_expected, rand_best)) in
+            instances.iter().zip(solved)
+        {
+            let ratio = if opt > 0 {
+                in_pairs as f64 / opt as f64
+            } else {
+                1.0
+            };
+            min_ratio = min_ratio.min(ratio);
+            let ok = ratio >= GUARANTEE;
+            if !ok {
+                artifact.violation(format!(
+                    "sdp {name}: rounded {in_pairs} in-pairs vs optimum {opt} \
+                     (ratio {ratio:.3} < {GUARANTEE})"
+                ));
+            }
+            if sdp_value + 1e-6 < opt as f64 * 0.99 {
+                artifact.violation(format!(
+                    "sdp {name}: relaxation value {sdp_value:.3} sits below the integral \
+                     optimum {opt} — the ascent failed to converge"
+                ));
+            }
+            println!(
+                "{:<12}{:>6}{:>8}{:>10.2}{:>10}{:>10.2}{:>8.3}",
+                name,
+                g.n_edges(),
+                opt,
+                sdp_value,
+                in_pairs,
+                rand_expected,
+                ratio
+            );
+            md_rows.push_str(&format!(
+                "| {name} | {} | {} | {opt} | {sdp_value:.3} | {in_pairs} | {rand_expected:.2} | \
+                 {ratio:.3} | {} |\n",
+                g.n_vertices(),
+                g.n_edges(),
+                if ok { "✓" } else { "✗" },
+            ));
+            rows.push(Value::object([
+                ("id", Value::from(format!("sdp/{name}"))),
+                ("instance", Value::from(name.to_string())),
+                ("vertices", Value::from(g.n_vertices())),
+                ("edges", Value::from(g.n_edges())),
+                ("measured", Value::from(in_pairs)),
+                ("bound", Value::from(opt)),
+                ("sdp_value", Value::from(sdp_value)),
+                ("in_plus_out", Value::from(in_plus_out)),
+                ("random_expected", Value::from(rand_expected)),
+                ("random_best", Value::from(rand_best)),
+                ("ratio", Value::from(ratio)),
+                ("ratio_ok", Value::from(ok)),
+            ]));
+        }
+        println!();
+        println!(
+            "min ratio {:.3} vs the appendix guarantee {GUARANTEE}; random baseline ≈ optimum/4",
+            min_ratio
+        );
+        artifact.section("rows", Value::Array(rows));
+        artifact.section("min_ratio", Value::from(min_ratio));
+
+        let md = format!(
+            "{}For every instance the pipeline compares the exact optimum (exhaustive\n\
+             over all orientations), the SDP relaxation value, the hyperplane-rounded\n\
+             orientation (with the flip trick), and the 0.25 random baseline. Here\n\
+             `measured` is the rounded in-pair count and `bound` the exact optimum,\n\
+             so the trend headroom tracks how much rounding leaves on the table.\n\n\
+             | instance | vertices | edges | exact | sdp value | rounded | rand E | ratio | ok |\n\
+             |---|---|---|---|---|---|---|---|---|\n\
+             {md_rows}\n\
+             {}\n",
+            artifact.preamble_markdown(
+                "Paper reproduction — appendix one-round SDP",
+                "REPRO_sdp",
+                "A rounded orientation below the 0.439 guarantee, or a relaxation\n\
+                 value below the integral optimum, fails the pipeline.",
+            ),
+            artifact.verdict_markdown()
+        );
+        artifact.finish(md)
+    }
+}

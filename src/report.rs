@@ -1,0 +1,454 @@
+//! The shared artifact schema of the reproduction pipelines.
+//!
+//! Every pipeline (`table1`, `lower`, `sdp`) emits a pair of artifacts —
+//! `REPRO_<name>.json` (machine-readable) and `REPRO_<name>.md` (human
+//! summary) — through this module, so ids, provenance, tiering, gating,
+//! and on-disk layout stay identical across pipelines:
+//!
+//! * **Provenance** — every JSON artifact carries the `pipeline` name, the
+//!   [`PAPER`] citation, and the [`Tier`] it was produced at.
+//! * **Ids** — every gridded row carries an `id` (see [`cell_id`]) plus
+//!   numeric `measured` and `bound` fields; [`trend`] matches rows across
+//!   two artifact generations by `id` and reports how much headroom
+//!   (`bound / measured`) moved.
+//! * **Gating** — proven-bound violations accumulate in the builder; the
+//!   driver exits non-zero if any remain, which is the CI contract.
+//!
+//! Artifacts are bit-identical across worker thread counts (the parallel
+//! orchestrator's determinism contract) and across runs (no timestamps,
+//! no machine identifiers, sorted object keys), so CI can diff them
+//! byte-for-byte against the committed copies.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The source paper, cited in every artifact.
+pub const PAPER: &str = "Chen, Russell, Samanta, Sundaram — Deterministic Blind Rendezvous in \
+                         Cognitive Radio Networks (ICDCS 2014)";
+
+/// Experiment size tiers shared by every pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The full paper-scale grids.
+    Full,
+    /// Smaller grids, same shapes.
+    Quick,
+    /// The minutes-scale CI tier: the smallest grids that still cross
+    /// every algorithm × timing × scenario cell.
+    Smoke,
+}
+
+impl Tier {
+    /// The lowercase name recorded in artifacts and used in CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::Quick => "quick",
+            Tier::Smoke => "smoke",
+        }
+    }
+}
+
+/// The canonical id of one measurement-grid cell:
+/// `"<algorithm>/<timing>/<scenario>/n=<n>"`.
+pub fn cell_id(algorithm: &str, timing: &str, scenario: &str, n: u64) -> String {
+    format!("{algorithm}/{timing}/{scenario}/n={n}")
+}
+
+/// Bound headroom of a row: how many times the measurement fits under
+/// its bound (`bound / max(measured, 1)`), the quantity [`trend`] tracks
+/// across pipeline generations.
+pub fn headroom(measured: f64, bound: f64) -> f64 {
+    bound / measured.max(1.0)
+}
+
+/// A finished pipeline run, ready to write and gate.
+pub struct PipelineOutput {
+    /// The pipeline name (`"table1"`, `"lower"`, `"sdp"`).
+    pub pipeline: &'static str,
+    /// The machine-readable artifact.
+    pub json: Value,
+    /// The human-readable artifact.
+    pub markdown: String,
+    /// Violated proven bounds — non-empty fails the run.
+    pub violations: Vec<String>,
+}
+
+/// Incremental builder for one pipeline's artifact pair.
+pub struct Artifact {
+    pipeline: &'static str,
+    tier: Tier,
+    top: BTreeMap<String, Value>,
+    violations: Vec<String>,
+}
+
+impl Artifact {
+    /// Starts an artifact for `pipeline` at `tier`.
+    pub fn new(pipeline: &'static str, tier: Tier) -> Self {
+        Artifact {
+            pipeline,
+            tier,
+            top: BTreeMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// The tier the artifact is being produced at.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Adds a top-level section (e.g. `"config"`, `"cells"`, `"rows"`).
+    pub fn section(&mut self, key: &'static str, value: Value) {
+        self.top.insert(key.to_string(), value);
+    }
+
+    /// Records a proven-bound violation (fails the pipeline at the end).
+    pub fn violation(&mut self, message: String) {
+        self.violations.push(message);
+    }
+
+    /// The violations recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// The standard markdown verdict block.
+    pub fn verdict_markdown(&self) -> String {
+        if self.violations.is_empty() {
+            "**All gated rows respect their proven bounds.**".to_string()
+        } else {
+            format!(
+                "**{} bound violation(s):**\n\n{}",
+                self.violations.len(),
+                self.violations
+                    .iter()
+                    .map(|v| format!("- {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            )
+        }
+    }
+
+    /// The standard markdown preamble: regeneration command, twin-file
+    /// pointer, and the determinism note shared by every pipeline.
+    pub fn preamble_markdown(&self, title: &str, stem: &str, gate_note: &str) -> String {
+        let tier = self.tier.name();
+        let pipeline = self.pipeline;
+        format!(
+            "# {title} (tier: {tier})\n\n\
+             Regenerate with `cargo run --release --bin repro -- --{tier} {pipeline}`\n\
+             (drop the tier flag for the full paper-scale grid). Machine-readable\n\
+             twin: `{stem}.json`. {gate_note}\n\n\
+             Sweeps ran on the work-stealing orchestrator; results (and this\n\
+             file) are bit-identical at any worker thread count.\n\n"
+        )
+    }
+
+    /// Seals the artifact: merges provenance, tier, and violations into
+    /// the JSON tree and pairs it with the rendered markdown.
+    pub fn finish(mut self, markdown: String) -> PipelineOutput {
+        self.top
+            .insert("pipeline".to_string(), Value::from(self.pipeline));
+        self.top.insert("paper".to_string(), Value::from(PAPER));
+        self.top
+            .insert("tier".to_string(), Value::from(self.tier.name()));
+        self.top.insert(
+            "violations".to_string(),
+            Value::Array(
+                self.violations
+                    .iter()
+                    .map(|v| Value::from(v.as_str()))
+                    .collect(),
+            ),
+        );
+        PipelineOutput {
+            pipeline: self.pipeline,
+            json: Value::Object(self.top),
+            markdown,
+            violations: self.violations,
+        }
+    }
+}
+
+/// Writes the artifact pair as `<out_dir>/<stem>.json` and
+/// `<out_dir>/<stem>.md`, returning both paths.
+///
+/// # Panics
+///
+/// Panics on I/O failure — the pipelines treat an unwritable artifact as
+/// fatal, matching the CI contract.
+pub fn write_artifacts(out_dir: &Path, stem: &str, out: &PipelineOutput) -> (PathBuf, PathBuf) {
+    std::fs::create_dir_all(out_dir)
+        .unwrap_or_else(|e| panic!("creating {}: {e}", out_dir.display()));
+    let json_path = out_dir.join(format!("{stem}.json"));
+    std::fs::write(&json_path, serde_json::to_string_pretty(&out.json) + "\n")
+        .unwrap_or_else(|e| panic!("writing {}: {e}", json_path.display()));
+    let md_path = out_dir.join(format!("{stem}.md"));
+    std::fs::write(&md_path, &out.markdown)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", md_path.display()));
+    (json_path, md_path)
+}
+
+/// One id matched across two artifact generations by [`trend`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRow {
+    /// The shared row id.
+    pub id: String,
+    /// `measured` in the (old, new) artifacts.
+    pub measured: (f64, f64),
+    /// `bound` in the (old, new) artifacts.
+    pub bound: (f64, f64),
+    /// [`headroom`] in the (old, new) artifacts.
+    pub headroom: (f64, f64),
+}
+
+impl TrendRow {
+    /// Relative headroom movement: `new/old − 1` (positive = the bound
+    /// got *more* comfortable).
+    pub fn movement(&self) -> f64 {
+        if self.headroom.0 > 0.0 {
+            self.headroom.1 / self.headroom.0 - 1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The outcome of diffing two artifact generations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendReport {
+    /// The artifacts' pipeline names (old, new).
+    pub pipelines: (String, String),
+    /// Rows present in both artifacts, in id order.
+    pub rows: Vec<TrendRow>,
+    /// Ids only the old artifact has (grid shrank / tier changed).
+    pub only_old: Vec<String>,
+    /// Ids only the new artifact has.
+    pub only_new: Vec<String>,
+}
+
+/// Collects every `(id, measured, bound)` row of an artifact: any object
+/// inside a top-level array carrying a string `"id"` plus numeric
+/// `"measured"` and `"bound"` members — the schema every pipeline's
+/// gridded rows follow.
+fn collect_rows(artifact: &Value) -> BTreeMap<String, (f64, f64)> {
+    let mut rows = BTreeMap::new();
+    let Value::Object(top) = artifact else {
+        return rows;
+    };
+    for section in top.values() {
+        let Value::Array(items) = section else {
+            continue;
+        };
+        for item in items {
+            if let (Some(id), Some(measured), Some(bound)) = (
+                item.get("id").and_then(Value::as_str),
+                item.get("measured").and_then(Value::as_f64),
+                item.get("bound").and_then(Value::as_f64),
+            ) {
+                rows.insert(id.to_string(), (measured, bound));
+            }
+        }
+    }
+    rows
+}
+
+/// Diffs two artifact generations (of the same pipeline, typically the
+/// committed copy vs a fresh run), matching gridded rows by id and
+/// reporting how the bound headroom moved — the `repro trend` machinery.
+///
+/// # Errors
+///
+/// Returns a description when either artifact carries no matchable rows.
+pub fn trend(old: &Value, new: &Value) -> Result<TrendReport, String> {
+    let pipeline_of = |v: &Value| {
+        v.get("pipeline")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let old_rows = collect_rows(old);
+    let new_rows = collect_rows(new);
+    if old_rows.is_empty() {
+        return Err("the old artifact has no rows with id/measured/bound".to_string());
+    }
+    if new_rows.is_empty() {
+        return Err("the new artifact has no rows with id/measured/bound".to_string());
+    }
+    let mut rows = Vec::new();
+    let mut only_old = Vec::new();
+    for (id, &(om, ob)) in &old_rows {
+        match new_rows.get(id) {
+            Some(&(nm, nb)) => rows.push(TrendRow {
+                id: id.clone(),
+                measured: (om, nm),
+                bound: (ob, nb),
+                headroom: (headroom(om, ob), headroom(nm, nb)),
+            }),
+            None => only_old.push(id.clone()),
+        }
+    }
+    let only_new = new_rows
+        .keys()
+        .filter(|id| !old_rows.contains_key(*id))
+        .cloned()
+        .collect();
+    Ok(TrendReport {
+        pipelines: (pipeline_of(old), pipeline_of(new)),
+        rows,
+        only_old,
+        only_new,
+    })
+}
+
+impl TrendReport {
+    /// Renders the movement table (sorted by |movement| descending, ties
+    /// by id) plus the coverage summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trend: {} (old) vs {} (new), {} matched row(s)\n",
+            self.pipelines.0,
+            self.pipelines.1,
+            self.rows.len()
+        ));
+        if self.pipelines.0 != self.pipelines.1 {
+            out.push_str("WARNING: the artifacts come from different pipelines\n");
+        }
+        out.push_str(&format!(
+            "{:<44}{:>12}{:>12}{:>11}{:>11}{:>9}\n",
+            "id", "measured", "bound", "headroom", "was", "move"
+        ));
+        let mut sorted: Vec<&TrendRow> = self.rows.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.movement()
+                .abs()
+                .partial_cmp(&a.movement().abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        for row in sorted {
+            out.push_str(&format!(
+                "{:<44}{:>12}{:>12}{:>10.2}x{:>10.2}x{:>+8.1}%\n",
+                row.id,
+                row.measured.1,
+                row.bound.1,
+                row.headroom.1,
+                row.headroom.0,
+                row.movement() * 100.0
+            ));
+        }
+        let (better, worse): (Vec<_>, Vec<_>) = self
+            .rows
+            .iter()
+            .filter(|r| r.movement().abs() > 1e-9)
+            .partition(|r| r.movement() > 0.0);
+        out.push_str(&format!(
+            "headroom widened on {} row(s), narrowed on {}, flat on {}\n",
+            better.len(),
+            worse.len(),
+            self.rows.len() - better.len() - worse.len()
+        ));
+        if !self.only_old.is_empty() || !self.only_new.is_empty() {
+            out.push_str(&format!(
+                "unmatched ids: {} only in old, {} only in new (tier or grid changed)\n",
+                self.only_old.len(),
+                self.only_new.len()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: &str, measured: u64, bound: u64) -> Value {
+        Value::object([
+            ("id", Value::from(id.to_string())),
+            ("measured", Value::from(measured)),
+            ("bound", Value::from(bound)),
+        ])
+    }
+
+    fn artifact(pipeline: &'static str, rows: Vec<Value>) -> Value {
+        let mut a = Artifact::new(pipeline, Tier::Smoke);
+        a.section("rows", Value::Array(rows));
+        a.finish(String::new()).json
+    }
+
+    #[test]
+    fn finish_merges_provenance_and_violations() {
+        let mut a = Artifact::new("table1", Tier::Smoke);
+        a.section("rows", Value::Array(vec![]));
+        a.violation("something broke".to_string());
+        let out = a.finish("md".to_string());
+        assert_eq!(
+            out.json.get("pipeline").and_then(Value::as_str),
+            Some("table1")
+        );
+        assert_eq!(out.json.get("tier").and_then(Value::as_str), Some("smoke"));
+        assert!(out
+            .json
+            .get("paper")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("ICDCS"));
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(
+            out.json
+                .get("violations")
+                .and_then(Value::as_array)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn trend_matches_rows_by_id() {
+        let old = artifact(
+            "lower",
+            vec![row("a/async/sym/n=8", 100, 1000), row("gone", 5, 10)],
+        );
+        let new = artifact(
+            "lower",
+            vec![row("a/async/sym/n=8", 50, 1000), row("fresh", 7, 10)],
+        );
+        let t = trend(&old, &new).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        let r = &t.rows[0];
+        assert_eq!(r.headroom, (10.0, 20.0));
+        assert!((r.movement() - 1.0).abs() < 1e-12, "headroom doubled");
+        assert_eq!(t.only_old, vec!["gone".to_string()]);
+        assert_eq!(t.only_new, vec!["fresh".to_string()]);
+        let rendered = t.render();
+        assert!(rendered.contains("a/async/sym/n=8"));
+        assert!(rendered.contains("widened on 1 row(s)"));
+    }
+
+    #[test]
+    fn trend_rejects_rowless_artifacts() {
+        let empty = artifact("lower", vec![]);
+        let full = artifact("lower", vec![row("x", 1, 2)]);
+        assert!(trend(&empty, &full).is_err());
+        assert!(trend(&full, &empty).is_err());
+    }
+
+    #[test]
+    fn headroom_guards_zero_measured() {
+        assert_eq!(headroom(0.0, 12.0), 12.0);
+        assert_eq!(headroom(4.0, 12.0), 3.0);
+    }
+
+    #[test]
+    fn cell_ids_are_stable() {
+        assert_eq!(
+            cell_id("ours (Thm 3)", "async", "symmetric", 16),
+            "ours (Thm 3)/async/symmetric/n=16"
+        );
+    }
+}

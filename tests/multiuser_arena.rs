@@ -43,6 +43,7 @@ fn build(n: u64, spec: &[(Vec<u64>, u64)]) -> Vec<Agent> {
                 schedule: algo.make(n, &set, &ctx).expect("valid agent"),
                 set,
                 wake: *wake,
+                share_key: None,
             }
         })
         .collect()

@@ -78,6 +78,7 @@ fn multi_agent_simulation_is_thread_count_invariant() {
                 schedule: Algorithm::Ours.make(12, &set, &ctx).expect("valid"),
                 set,
                 wake: ctx.wake,
+                share_key: None,
             }
         })
         .collect();
