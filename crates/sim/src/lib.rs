@@ -12,11 +12,14 @@
 //!   pairs over the shared arena, with a density-adaptive bucket-scan
 //!   resolution mode for dense populations.
 //! * [`pool`] — the work-stealing parallel orchestrator: deterministic
-//!   task-indexed sharding over the vendored crossbeam deques, plus the
-//!   scoped two-phase/barrier bulk API behind the arena engine, with
-//!   bit-identical results at every thread count.
+//!   task-indexed sharding over the vendored crossbeam deques, the
+//!   general task-tree API (`run_tree`) nested sweeps submit whole grids
+//!   through, and its depth-2 barrier special case (`run_two_phase`)
+//!   behind the arena engine, with bit-identical results at every thread
+//!   count.
 //! * [`sweep`] — pairwise worst/mean time-to-rendezvous sweeps over shifts
-//!   and seeds, sharded onto [`pool`].
+//!   and seeds, submitted to [`pool`] as task trees (cells are parents,
+//!   `(shift × seed)` chunks are children).
 //! * [`stats`] — means, percentiles, and the log-log growth-exponent fits
 //!   used to check the paper's asymptotic claims empirically.
 
@@ -33,8 +36,8 @@ pub mod workload;
 
 pub use algo::Algorithm;
 pub use engine::{EngineConfig, MeetingMap, MeetingReport, ResolveMode, Simulation};
-pub use pool::ParallelConfig;
+pub use pool::{ParallelConfig, TreePath};
 pub use sweep::{
-    sweep_lower_bound, sweep_pair_ttr, LowerBoundSweep, LowerSweepConfig, PairSweep, SweepConfig,
-    SweepError,
+    sweep_lower_bound, sweep_lower_grid, sweep_pair_grid, sweep_pair_ttr, LowerBoundSweep,
+    LowerCell, LowerSweepConfig, PairSweep, SweepCell, SweepConfig, SweepError,
 };

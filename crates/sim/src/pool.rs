@@ -10,28 +10,46 @@
 //! [`crossbeam::deque`] stand-in) and lets idle workers steal, so the
 //! longest task — not the longest *chunk* — bounds the critical path.
 //!
+//! Three entry points share that discipline:
+//!
+//! * [`run_indexed`] — a flat task list, results in task order;
+//! * [`run_tree`] — a **task tree**: a forest of parent tasks, each
+//!   expanding *on a worker* into child tasks that are scheduled across
+//!   the same pool, so stealing crosses parent boundaries (a nested sweep
+//!   submits its whole grid at once instead of one pool per cell);
+//! * [`run_two_phase`] — the depth-2 barrier special case of the tree
+//!   (every phase-a task a childless parent, one fan-out parent holding
+//!   phase b, the expansion barrier as the phase boundary), kept as the
+//!   scoped bulk API of the shared-arena engines.
+//!
 //! # Determinism
 //!
 //! Results are **bit-identical across thread counts** by construction:
 //!
-//! * every task carries its grid index, and results are merged back in
-//!   index order, so downstream consumers never observe scheduling order;
+//! * every task carries its grid index — or its `(parent, child)` path in
+//!   a tree — and results are merged back in index order, so downstream
+//!   consumers never observe scheduling order;
 //! * tasks never share mutable state — schedules are compiled once before
 //!   the fan-out and shared read-only (see
 //!   [`rdv_core::compiled::PreparedSchedule`]);
-//! * randomized tasks derive their RNG stream from [`stream_seed`], a
-//!   SplitMix64 mix of the experiment seed and the task index — a pure
-//!   function of *which* task, never of *where* or *when* it ran.
+//! * randomized tasks derive their RNG stream from [`stream_seed`] (flat
+//!   grids) or [`tree_seed`] (tree children), a SplitMix64 mix of the
+//!   experiment seed and the task's position — a pure function of *which*
+//!   task, never of *where* or *when* it ran.
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Thread-count policy for the parallel orchestrator.
 ///
-/// The default (`threads: 0`) auto-detects.
+/// The default (`threads: 0`) auto-detects, with the `RDV_THREADS`
+/// environment variable as an override between the two (the CI test
+/// matrix pins it to 1 and 8 so every push exercises the thread-count
+/// determinism contract, not only the dedicated determinism tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ParallelConfig {
-    /// Worker threads to use. `0` means auto-detect
+    /// Worker threads to use. `0` means the `RDV_THREADS` environment
+    /// override when set to a positive integer, else auto-detect
     /// ([`std::thread::available_parallelism`]).
     pub threads: usize,
 }
@@ -42,18 +60,31 @@ impl ParallelConfig {
         ParallelConfig { threads }
     }
 
+    /// The requested worker count before any task-count clamp: an explicit
+    /// `threads`, else the `RDV_THREADS` environment override, else
+    /// [`std::thread::available_parallelism`]. This is what sizes a
+    /// [`run_tree`] pool, whose child-task count is unknown at submission.
+    pub fn requested_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("RDV_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(4)
+    }
+
     /// The worker count to actually spawn for `tasks` tasks: the requested
     /// (or detected) thread count, never more than the number of tasks,
     /// never zero.
     pub fn effective_threads(&self, tasks: usize) -> usize {
-        let requested = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|v| v.get())
-                .unwrap_or(4)
-        } else {
-            self.threads
-        };
-        requested.min(tasks).max(1)
+        self.requested_threads().min(tasks).max(1)
     }
 }
 
@@ -89,6 +120,40 @@ pub fn stream_seed(base: u64, task_index: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Derives the RNG stream seed of the child at `(parent, child)` within a
+/// task-tree submission — one [`stream_seed`] application per tree level,
+/// so the seed is a pure function of the task's *path* and never of where
+/// or when the task ran.
+///
+/// For a fixed parent the child streams are collision-free (the inner
+/// [`stream_seed`] is bijective in the child index), and each parent's
+/// stream family starts from its own avalanche-mixed base; the path
+/// distinctness of every grid shape the workspace submits is pinned by
+/// `tests/task_tree.rs`.
+pub fn tree_seed(base: u64, parent: u64, child: u64) -> u64 {
+    stream_seed(stream_seed(base, parent), child)
+}
+
+/// The position of a child task within a [`run_tree`] submission: the
+/// parent's index in the submitted forest and the child's index within
+/// that parent's expansion — the pair the deterministic merge orders by,
+/// and the path [`Self::stream_seed`] derives RNG streams from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreePath {
+    /// Index of the parent task in the submitted forest.
+    pub parent: usize,
+    /// Index of this child within its parent's expansion.
+    pub child: usize,
+}
+
+impl TreePath {
+    /// The child's RNG stream seed under experiment seed `base` — see
+    /// [`tree_seed`].
+    pub fn stream_seed(&self, base: u64) -> u64 {
+        tree_seed(base, self.parent as u64, self.child as u64)
+    }
 }
 
 /// One round of the work-stealing discipline: the worker's own deque,
@@ -153,6 +218,20 @@ impl<'a> Arrival<'a> {
 impl Drop for Arrival<'_> {
     fn drop(&mut self) {
         self.arrive();
+    }
+}
+
+/// Sets the shared poison flag if its holder unwinds, so sibling workers
+/// spinning on a tree's pending-task count exit instead of waiting forever
+/// for tasks the dead worker will never finish (the panic then propagates
+/// at scope join).
+struct PoisonOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
     }
 }
 
@@ -223,19 +302,282 @@ where
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// The shared scheduler behind [`run_tree`] and [`run_two_phase`]: one
+/// pool of `threads` workers draining a parent injector and a child
+/// injector with the [`find_task`] stealing discipline.
+///
+/// Two scheduling modes:
+///
+/// * **eager** (`barrier == false`) — children become stealable the
+///   moment their parent expands, so a slow parent never serializes its
+///   siblings' children. Termination is certified by a pending-task
+///   count (queues can be momentarily empty while a sibling is about to
+///   push freshly expanded children), with a poison flag releasing the
+///   spin if a worker dies mid-task.
+/// * **barrier** (`barrier == true`) — every expansion completes before
+///   any child runs, with the [`Arrival`] count as the wave boundary; its
+///   release/acquire ordering publishes every expansion-side write to
+///   every child. This is the two-phase bulk semantics of the arena
+///   engines.
+///
+/// With one thread both modes collapse to the literal sequential nested
+/// loops — the reference semantics `tests/task_tree.rs` property-tests
+/// the parallel runs against.
+fn run_tree_impl<P, PR, C, R, E, F>(
+    threads: usize,
+    parents: Vec<P>,
+    expand: &E,
+    child: &F,
+    barrier: bool,
+) -> Vec<(PR, Vec<R>)>
+where
+    P: Send,
+    PR: Send,
+    C: Send,
+    R: Send,
+    E: Fn(usize, P) -> (PR, Vec<C>) + Sync,
+    F: Fn(TreePath, C) -> R + Sync,
+{
+    let n_parents = parents.len();
+    if threads <= 1 {
+        return parents
+            .into_iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                let (pr, kids) = expand(pi, p);
+                let rs = kids
+                    .into_iter()
+                    .enumerate()
+                    .map(|(ci, c)| {
+                        child(
+                            TreePath {
+                                parent: pi,
+                                child: ci,
+                            },
+                            c,
+                        )
+                    })
+                    .collect();
+                (pr, rs)
+            })
+            .collect();
+    }
+
+    let inj_p = Injector::new();
+    for task in parents.into_iter().enumerate() {
+        inj_p.push(task);
+    }
+    let inj_c: Injector<(TreePath, C)> = Injector::new();
+    let workers_p: Vec<Worker<(usize, P)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers_p: Vec<Stealer<(usize, P)>> = workers_p.iter().map(Worker::stealer).collect();
+    let workers_c: Vec<Worker<(TreePath, C)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers_c: Vec<Stealer<(TreePath, C)>> = workers_c.iter().map(Worker::stealer).collect();
+    let pending = AtomicUsize::new(n_parents);
+    let arrivals = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+
+    type Rows<PR, R> = (Vec<(usize, PR)>, Vec<(TreePath, R)>);
+    let (mut parent_rows, mut child_rows): Rows<PR, R> = crossbeam::scope(|scope| {
+        let (inj_p, inj_c) = (&inj_p, &inj_c);
+        let (stealers_p, stealers_c) = (&stealers_p, &stealers_c);
+        let (pending, arrivals, poisoned) = (&pending, &arrivals, &poisoned);
+        let handles: Vec<_> = workers_p
+            .into_iter()
+            .zip(workers_c)
+            .enumerate()
+            .map(|(me, (wp, wc))| {
+                scope.spawn(move |_| {
+                    let _poison = PoisonOnPanic(poisoned);
+                    let mut parent_out: Vec<(usize, PR)> = Vec::new();
+                    let mut child_out: Vec<(TreePath, R)> = Vec::new();
+                    if barrier {
+                        let mut arrival = Arrival::new(arrivals);
+                        while let Some((pi, p)) = find_task(me, &wp, inj_p, stealers_p) {
+                            let (pr, kids) = expand(pi, p);
+                            for (ci, c) in kids.into_iter().enumerate() {
+                                inj_c.push((
+                                    TreePath {
+                                        parent: pi,
+                                        child: ci,
+                                    },
+                                    c,
+                                ));
+                            }
+                            parent_out.push((pi, pr));
+                        }
+                        // A worker arrives only once its own deque is
+                        // drained and it holds no task, so
+                        // `arrivals == threads` certifies every
+                        // expansion has completed (and pushed its
+                        // children). Expansions are short (one block
+                        // of bulk work), so a yielding spin outlasts
+                        // nothing worth parking for.
+                        arrival.arrive();
+                        while arrivals.load(Ordering::Acquire) < threads {
+                            std::thread::yield_now();
+                        }
+                        while let Some((path, c)) = find_task(me, &wc, inj_c, stealers_c) {
+                            child_out.push((path, child(path, c)));
+                        }
+                    } else {
+                        let mut idle_rounds = 0u32;
+                        loop {
+                            if let Some((pi, p)) = find_task(me, &wp, inj_p, stealers_p) {
+                                let (pr, kids) = expand(pi, p);
+                                // Registering the children before
+                                // retiring their parent keeps the
+                                // pending count from touching zero
+                                // while work remains unscheduled.
+                                pending.fetch_add(kids.len(), Ordering::AcqRel);
+                                for (ci, c) in kids.into_iter().enumerate() {
+                                    inj_c.push((
+                                        TreePath {
+                                            parent: pi,
+                                            child: ci,
+                                        },
+                                        c,
+                                    ));
+                                }
+                                parent_out.push((pi, pr));
+                                pending.fetch_sub(1, Ordering::AcqRel);
+                                idle_rounds = 0;
+                                continue;
+                            }
+                            if let Some((path, c)) = find_task(me, &wc, inj_c, stealers_c) {
+                                child_out.push((path, child(path, c)));
+                                pending.fetch_sub(1, Ordering::AcqRel);
+                                idle_rounds = 0;
+                                continue;
+                            }
+                            if pending.load(Ordering::Acquire) == 0
+                                || poisoned.load(Ordering::Acquire)
+                            {
+                                break;
+                            }
+                            // Idle back-off: spin-yield while a refill
+                            // is likely imminent, then nap so starved
+                            // workers (e.g. more workers than cores)
+                            // stop taxing the queues the busy ones are
+                            // pushing through.
+                            idle_rounds += 1;
+                            if idle_rounds < 64 {
+                                std::thread::yield_now();
+                            } else {
+                                std::thread::sleep(std::time::Duration::from_micros(20));
+                            }
+                        }
+                    }
+                    (parent_out, child_out)
+                })
+            })
+            .collect();
+        let mut parent_rows: Vec<(usize, PR)> = Vec::with_capacity(n_parents);
+        let mut child_rows: Vec<(TreePath, R)> = Vec::new();
+        for h in handles {
+            let (ps, cs) = h.join().expect("tree worker panicked");
+            parent_rows.extend(ps);
+            child_rows.extend(cs);
+        }
+        (parent_rows, child_rows)
+    })
+    .expect("crossbeam scope");
+
+    debug_assert_eq!(
+        parent_rows.len(),
+        n_parents,
+        "tree orchestrator lost parents"
+    );
+    parent_rows.sort_unstable_by_key(|&(i, _)| i);
+    child_rows.sort_unstable_by_key(|&(path, _)| (path.parent, path.child));
+    let mut out: Vec<(PR, Vec<R>)> = parent_rows
+        .into_iter()
+        .map(|(_, pr)| (pr, Vec::new()))
+        .collect();
+    for (path, r) in child_rows {
+        out[path.parent].1.push(r);
+    }
+    out
+}
+
+/// Runs a **task tree** on one work-stealing pool: a forest of `parents`,
+/// each expanded by `expand` *on a worker* into an output value plus a
+/// list of child tasks, every child evaluated by `child` on the same set
+/// of workers — so work-stealing crosses parent boundaries, and a nested
+/// sweep can submit its entire (scenario × shift/seed) grid as one tree
+/// instead of paying one pool (and one serializing join) per cell.
+///
+/// Returns, for every parent in **submission order**, its expansion
+/// output and its children's results in **child order** — scheduling is
+/// never observable, so results are bit-identical at any thread count.
+/// `expand` and `child` must be pure functions of their arguments (plus
+/// shared read-only captures); randomized children derive their RNG
+/// stream from the `(parent, child)` path via [`TreePath::stream_seed`].
+///
+/// Children become stealable the moment their parent expands (no barrier
+/// between levels); [`run_two_phase`] is the depth-2 special case that
+/// *does* interpose a barrier, for producer/consumer phases over shared
+/// memory.
+///
+/// A single-parent forest degenerates to a flat run: the parent expands
+/// on the caller's thread and the children go through [`run_indexed`],
+/// which clamps the worker count to the now-known child count (and keeps
+/// tiny sweeps inline).
+///
+/// # Panics
+///
+/// Panics if a worker panics (the task panic propagates at scope join; a
+/// poison flag releases the sibling workers' termination spin rather than
+/// deadlocking them).
+pub fn run_tree<P, PR, C, R, E, F>(
+    parents: Vec<P>,
+    cfg: &ParallelConfig,
+    expand: E,
+    child: F,
+) -> Vec<(PR, Vec<R>)>
+where
+    P: Send,
+    PR: Send,
+    C: Send,
+    R: Send,
+    E: Fn(usize, P) -> (PR, Vec<C>) + Sync,
+    F: Fn(TreePath, C) -> R + Sync,
+{
+    if parents.is_empty() {
+        return Vec::new();
+    }
+    if parents.len() == 1 {
+        let mut parents = parents;
+        let (pr, kids) = expand(0, parents.pop().expect("one parent"));
+        let rs = run_indexed(kids, cfg, |ci, c| {
+            child(
+                TreePath {
+                    parent: 0,
+                    child: ci,
+                },
+                c,
+            )
+        });
+        return vec![(pr, rs)];
+    }
+    run_tree_impl(cfg.requested_threads(), parents, &expand, &child, false)
+}
+
 /// The scoped two-phase bulk step of the shared-arena engines: runs every
 /// `phase_a` task, waits at a **barrier** until all of them have finished
 /// on every worker, then runs every `phase_b` task and returns the
 /// phase-b results in task order.
 ///
-/// Both phases are sharded work-stealing style (same discipline as
-/// [`run_indexed`]), but on **one** set of worker threads spawned once —
-/// the barrier is an atomic arrival count, not a join — so a caller
-/// iterating fill/resolve steps per block pays one spawn per block, not
-/// two. The intended shape is a producer/consumer pair over shared
-/// memory: `a` publishes into a shared structure (e.g. relaxed stores
-/// into an `AtomicU64` arena), `b` reads it; the barrier's release/acquire
-/// ordering makes every phase-a write visible to every phase-b task.
+/// This is the depth-2 special case of the task tree ([`run_tree`]), run
+/// in barrier mode: every phase-a task is a childless parent, one final
+/// fan-out parent carries the phase-b children, and the expansion barrier
+/// is the phase boundary. Both phases work-steal on **one** set of worker
+/// threads spawned once — the barrier is an atomic arrival count, not a
+/// join — so a caller iterating fill/resolve steps per block pays one
+/// spawn per block, not two. The intended shape is a producer/consumer
+/// pair over shared memory: `a` publishes into a shared structure (e.g.
+/// relaxed stores into an `AtomicU64` arena), `b` reads it; the barrier's
+/// release/acquire ordering makes every phase-a write visible to every
+/// phase-b task.
 ///
 /// `phase_a` and `phase_b` are independent task lists — their lengths
 /// need not match. With one effective thread both phases run inline
@@ -261,75 +603,28 @@ where
     FA: Fn(usize, TA) + Sync,
     FB: Fn(usize, TB) -> R + Sync,
 {
-    let (n_a, n_b) = (phase_a.len(), phase_b.len());
-    let threads = cfg.effective_threads(n_a.max(n_b));
-    if threads <= 1 {
-        for (i, t) in phase_a.into_iter().enumerate() {
+    enum Parent<TA, TB> {
+        A(usize, TA),
+        FanOut(Vec<TB>),
+    }
+    let threads = cfg.effective_threads(phase_a.len().max(phase_b.len()));
+    let parents: Vec<Parent<TA, TB>> = phase_a
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| Parent::A(i, t))
+        .chain(std::iter::once(Parent::FanOut(phase_b)))
+        .collect();
+    let expand = |_pi: usize, p: Parent<TA, TB>| match p {
+        Parent::A(i, t) => {
             a(i, t);
+            ((), Vec::new())
         }
-        return phase_b
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| b(i, t))
-            .collect();
-    }
-
-    let inj_a = Injector::new();
-    for task in phase_a.into_iter().enumerate() {
-        inj_a.push(task);
-    }
-    let inj_b = Injector::new();
-    for task in phase_b.into_iter().enumerate() {
-        inj_b.push(task);
-    }
-    let workers_a: Vec<Worker<(usize, TA)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
-    let stealers_a: Vec<Stealer<(usize, TA)>> = workers_a.iter().map(Worker::stealer).collect();
-    let workers_b: Vec<Worker<(usize, TB)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
-    let stealers_b: Vec<Stealer<(usize, TB)>> = workers_b.iter().map(Worker::stealer).collect();
-    let arrivals = AtomicUsize::new(0);
-
-    let mut indexed: Vec<(usize, R)> = crossbeam::scope(|scope| {
-        let (inj_a, inj_b) = (&inj_a, &inj_b);
-        let (stealers_a, stealers_b) = (&stealers_a, &stealers_b);
-        let arrivals = &arrivals;
-        let (a, b) = (&a, &b);
-        let handles: Vec<_> = workers_a
-            .into_iter()
-            .zip(workers_b)
-            .enumerate()
-            .map(|(me, (wa, wb))| {
-                scope.spawn(move |_| {
-                    let mut arrival = Arrival::new(arrivals);
-                    while let Some((i, t)) = find_task(me, &wa, inj_a, stealers_a) {
-                        a(i, t);
-                    }
-                    // A worker arrives only once its own deque is drained
-                    // and it holds no task, so `arrivals == threads`
-                    // certifies every phase-a task has completed. Phase a
-                    // steps are short (one block of bulk work), so a
-                    // yielding spin outlasts nothing worth parking for.
-                    arrival.arrive();
-                    while arrivals.load(Ordering::Acquire) < threads {
-                        std::thread::yield_now();
-                    }
-                    let mut out: Vec<(usize, R)> = Vec::with_capacity(n_b / threads + 1);
-                    while let Some((i, t)) = find_task(me, &wb, inj_b, stealers_b) {
-                        out.push((i, b(i, t)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("two-phase worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-
-    debug_assert_eq!(indexed.len(), n_b, "two-phase orchestrator lost tasks");
-    indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+        Parent::FanOut(ts) => ((), ts),
+    };
+    let child = |path: TreePath, t: TB| b(path.child, t);
+    let mut out = run_tree_impl(threads, parents, &expand, &child, true);
+    let (_, results) = out.pop().expect("the fan-out parent is always submitted");
+    results
 }
 
 #[cfg(test)]
@@ -410,6 +705,77 @@ mod tests {
         assert_eq!(chunk_size(10_000_000, 8), 4096);
         // …and a zero thread count cannot divide by zero.
         assert_eq!(chunk_size(100, 0), 25);
+    }
+
+    #[test]
+    fn chunk_size_crossover_points_are_pinned() {
+        // Degenerate edges: no items still forms a (single, empty-range)
+        // chunk; a single worker targets four chunks.
+        assert_eq!(chunk_size(0, 1), 1);
+        assert_eq!(chunk_size(1, 1), 1);
+        assert_eq!(chunk_size(16, 1), 4);
+        assert_eq!(chunk_size(17, 1), 5);
+        // The low clamp: at items ≤ 4·threads every item is its own chunk,
+        // and the first item past the boundary doubles the chunk.
+        assert_eq!(chunk_size(4 * 8, 8), 1);
+        assert_eq!(chunk_size(4 * 8 + 1, 8), 2);
+        // Below the high clamp the policy is exactly ⌈items / 4·threads⌉…
+        assert_eq!(chunk_size(100_000, 8), 3125);
+        // …and the 4096 cap engages exactly at items = 4·threads·4096.
+        assert_eq!(chunk_size(4 * 8 * 4096 - 1, 8), 4096);
+        assert_eq!(chunk_size(4 * 8 * 4096, 8), 4096);
+        assert_eq!(chunk_size(4 * 8 * 4096 + 1, 8), 4096);
+    }
+
+    #[test]
+    fn run_tree_merges_in_path_order() {
+        for threads in [1usize, 2, 8] {
+            let out: Vec<(u64, Vec<u64>)> = run_tree(
+                (0..23u64).collect(),
+                &ParallelConfig::with_threads(threads),
+                |pi, p| {
+                    assert_eq!(pi as u64, p);
+                    (p * 100, (0..p % 5).collect())
+                },
+                |path, c| path.parent as u64 * 1000 + c,
+            );
+            assert_eq!(out.len(), 23);
+            for (pi, (pr, rs)) in out.iter().enumerate() {
+                assert_eq!(*pr, pi as u64 * 100, "threads = {threads}");
+                let expected: Vec<u64> =
+                    (0..(pi as u64) % 5).map(|c| pi as u64 * 1000 + c).collect();
+                assert_eq!(rs, &expected, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_tree_empty_and_single_parent() {
+        let none: Vec<((), Vec<u64>)> = run_tree(
+            Vec::<u64>::new(),
+            &ParallelConfig::default(),
+            |_, _| ((), vec![]),
+            |_, c: u64| c,
+        );
+        assert!(none.is_empty());
+        // One parent takes the degenerate run_indexed path.
+        let one = run_tree(
+            vec![5u64],
+            &ParallelConfig::with_threads(8),
+            |_, p| (p, (0..p).collect::<Vec<u64>>()),
+            |path, c| c + path.child as u64,
+        );
+        assert_eq!(one, vec![(5, vec![0, 2, 4, 6, 8])]);
+    }
+
+    #[test]
+    fn tree_seed_matches_chained_stream_seed() {
+        assert_eq!(tree_seed(7, 3, 11), stream_seed(stream_seed(7, 3), 11));
+        let path = TreePath {
+            parent: 3,
+            child: 11,
+        };
+        assert_eq!(path.stream_seed(7), tree_seed(7, 3, 11));
     }
 
     #[test]

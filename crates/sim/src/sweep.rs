@@ -1,13 +1,19 @@
 //! Pairwise time-to-rendezvous sweeps — the engine behind the Table 1 and
 //! scaling experiments.
 //!
-//! The `(shift × seed)` sample grid is sharded into chunked tasks and run
-//! on the work-stealing orchestrator ([`crate::pool`]): schedules are
-//! built and compiled **once** before the fan-out
-//! ([`PreparedSchedule`]), shared read-only across workers, and every
-//! sample's randomness derives from its grid position
-//! ([`pool::stream_seed`]) — so a sweep's result is bit-identical at 1, 2,
-//! or N threads (asserted by `tests/parallel_determinism.rs`).
+//! Sweeps are **task-tree submissions** onto the work-stealing
+//! orchestrator ([`crate::pool::run_tree`]): each `(algorithm, scenario)`
+//! cell is a parent task whose expansion validates the cell and builds and
+//! compiles its schedules **once** ([`PreparedSchedule`], shared read-only
+//! via `Arc`), and whose children are `(shift × seed)` sample chunks sized
+//! by [`pool::chunk_size`]. [`sweep_pair_grid`] / [`sweep_lower_grid`]
+//! submit a whole grid of cells as one tree — children of different cells
+//! steal from one another, so a slow cell no longer serializes an artifact
+//! run — while [`sweep_pair_ttr`] / [`sweep_lower_bound`] are the
+//! single-cell special cases. Every sample's randomness derives from its
+//! grid position ([`pool::stream_seed`]), so a sweep's result is
+//! bit-identical at 1, 2, or N threads (asserted by
+//! `tests/parallel_determinism.rs` and `tests/task_tree.rs`).
 
 use crate::algo::{AgentCtx, Algorithm, DynSchedule};
 use crate::pool::{self, ParallelConfig};
@@ -20,11 +26,7 @@ use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::fmt;
 use std::ops::Range;
-
-/// Samples per orchestrator task. Small enough that a 1024-shift sweep
-/// produces dozens of stealable tasks, large enough to amortize queue
-/// traffic against thousands of kernel slots per sample.
-const SAMPLES_PER_TASK: usize = 64;
+use std::sync::Arc;
 
 /// Sweep parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -191,22 +193,256 @@ fn seed_ctxs(seed: u64, wake_b: u64) -> (AgentCtx, AgentCtx) {
     )
 }
 
+/// One `(algorithm, scenario)` cell of a sweep grid — a parent task of
+/// the task-tree submissions [`sweep_pair_grid`] builds whole measurement
+/// grids from.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The algorithm to sweep.
+    pub algorithm: Algorithm,
+    /// Universe size.
+    pub n: u64,
+    /// The scenario to sweep.
+    pub scenario: PairScenario,
+    /// Per-cell sweep parameters. `cfg.threads` is ignored inside a grid —
+    /// the grid's [`ParallelConfig`] governs the one shared pool.
+    pub cfg: SweepConfig,
+}
+
+/// A seed's hoisted schedule pair; `None` marks a seed whose schedules
+/// could not be instantiated, which chunk evaluation counts as one
+/// failure per swept shift (matching the historical per-sample
+/// accounting).
+type PreparedPair = Option<(PreparedSchedule<DynSchedule>, PreparedSchedule<DynSchedule>)>;
+
+/// The validated, construction-hoisted state of one pair-sweep cell: what
+/// the cell's parent task computes when it expands, then shares read-only
+/// (via `Arc`) with the cell's `(shift × seed)` chunk children.
+struct PairSweepPlan {
+    algorithm: Algorithm,
+    n: u64,
+    k: usize,
+    ell: usize,
+    horizon: u64,
+    seeds: u64,
+    shift_jobs: Vec<u64>,
+    scenario: PairScenario,
+    prepared: Option<Vec<PreparedPair>>,
+}
+
+impl PairSweepPlan {
+    /// Validates the cell and hoists schedule construction out of the
+    /// `(shift × seed)` grid: for every algorithm whose schedule does not
+    /// depend on the wake slot ([`Algorithm::wake_sensitive`] is false —
+    /// all but the beacon protocols) both schedules are built **once per
+    /// seed** and compiled to period tables when small enough. The beacon
+    /// protocols, whose schedules listen to a globally-timed stream, keep
+    /// the per-(shift, seed) construction (inside the chunk children, so
+    /// it parallelizes too).
+    fn new(
+        algorithm: Algorithm,
+        n: u64,
+        scenario: &PairScenario,
+        cfg: &SweepConfig,
+    ) -> Result<Self, SweepError> {
+        if !scenario.a.overlaps(&scenario.b) {
+            return Err(SweepError::DisjointSets);
+        }
+        let k = scenario.a.len();
+        let ell = scenario.b.len();
+        let horizon = if cfg.horizon_override > 0 {
+            cfg.horizon_override
+        } else {
+            algorithm.horizon(n, k, ell)
+        };
+        let seeds = if algorithm.is_deterministic() {
+            1
+        } else {
+            cfg.seeds.max(1)
+        };
+
+        // Probe instantiation once up front so an impossible scenario is a
+        // typed error instead of `shifts × seeds` silent failures.
+        let (probe_a, probe_b) = seed_ctxs(0, 0);
+        if algorithm.make(n, &scenario.a, &probe_a).is_none()
+            || algorithm.make(n, &scenario.b, &probe_b).is_none()
+        {
+            return Err(SweepError::Unsupported { algorithm, n });
+        }
+
+        let stride = if cfg.spread_over_period {
+            // Probe one schedule for its period and spread shifts across
+            // it, with a prime-ish offset so we don't only sample period
+            // multiples.
+            algorithm
+                .make(n, &scenario.a, &AgentCtx::default())
+                .and_then(|s| s.period_hint())
+                .map(|p| (p / cfg.shifts.max(1)).max(1) | 1)
+                .unwrap_or(cfg.shift_stride.max(1))
+        } else {
+            cfg.shift_stride.max(1)
+        };
+        let shift_jobs: Vec<u64> = (0..cfg.shifts).map(|i| i * stride).collect();
+
+        let prepared: Option<Vec<PreparedPair>> = if algorithm.wake_sensitive() {
+            None
+        } else {
+            Some(
+                (0..seeds)
+                    .map(|seed| {
+                        let (ctx_a, ctx_b) = seed_ctxs(seed, 0);
+                        match (
+                            algorithm.make(n, &scenario.a, &ctx_a),
+                            algorithm.make(n, &scenario.b, &ctx_b),
+                        ) {
+                            (Some(sa), Some(sb)) => {
+                                Some((PreparedSchedule::new(sa), PreparedSchedule::new(sb)))
+                            }
+                            _ => None,
+                        }
+                    })
+                    .collect(),
+            )
+        };
+
+        Ok(PairSweepPlan {
+            algorithm,
+            n,
+            k,
+            ell,
+            horizon,
+            seeds,
+            shift_jobs,
+            scenario: scenario.clone(),
+            prepared,
+        })
+    }
+
+    /// Flat sample count (sample = shift-major, seed-minor).
+    fn total_samples(&self) -> usize {
+        self.shift_jobs.len() * self.seeds as usize
+    }
+
+    /// Evaluates one chunk of the flat sample grid — a child task's work.
+    fn eval_chunk(&self, range: Range<usize>) -> (Vec<u64>, usize) {
+        let mut local = Vec::with_capacity(range.len());
+        let mut local_failures = 0usize;
+        for sample in range {
+            let shift = self.shift_jobs[sample / self.seeds as usize];
+            let seed = (sample % self.seeds as usize) as u64;
+            let outcome = if let Some(prepared) = &self.prepared {
+                match &prepared[seed as usize] {
+                    Some((sa, sb)) => verify::async_ttr_prepared(sa, sb, shift, self.horizon),
+                    None => {
+                        local_failures += 1;
+                        continue;
+                    }
+                }
+            } else {
+                let (ctx_a, ctx_b) = seed_ctxs(seed, shift);
+                let (Some(sa), Some(sb)) = (
+                    self.algorithm.make(self.n, &self.scenario.a, &ctx_a),
+                    self.algorithm.make(self.n, &self.scenario.b, &ctx_b),
+                ) else {
+                    local_failures += 1;
+                    continue;
+                };
+                verify::async_ttr(&sa, &sb, shift, self.horizon)
+            };
+            match outcome {
+                Some(ttr) => local.push(ttr),
+                None => local_failures += 1,
+            }
+        }
+        (local, local_failures)
+    }
+
+    /// Folds the chunk results (in child order, so the sample order is
+    /// exactly the sequential one) into the cell's sweep summary.
+    fn finish(&self, parts: Vec<(Vec<u64>, usize)>) -> Result<PairSweep, SweepError> {
+        let mut samples = Vec::with_capacity(self.total_samples());
+        let mut failures = 0usize;
+        for (local, f) in parts {
+            samples.extend(local);
+            failures += f;
+        }
+        let summary = Summary::of(&samples).ok_or(SweepError::NoSamples { failures })?;
+        Ok(PairSweep {
+            algorithm: self.algorithm,
+            n: self.n,
+            k: self.k,
+            ell: self.ell,
+            summary,
+            failures,
+            horizon: self.horizon,
+        })
+    }
+}
+
+/// Chunks a plan's `total` flat samples into `(plan, range)` child tasks
+/// sized by the workspace-wide [`pool::chunk_size`] policy. Chunk
+/// boundaries never influence results — chunk outputs are folded back in
+/// child order, reconstituting the sequential sample order exactly.
+fn plan_chunks<T>(plan: &Arc<T>, total: usize, threads: usize) -> Vec<(Arc<T>, Range<usize>)> {
+    let chunk = pool::chunk_size(total, threads);
+    (0..total)
+        .step_by(chunk)
+        .map(|start| (Arc::clone(plan), start..(start + chunk).min(total)))
+        .collect()
+}
+
+/// Sweeps a whole grid of cells as **one task-tree submission**: every
+/// cell is a parent task that expands (on a worker) into its validated
+/// `PairSweepPlan` plus `(shift × seed)` chunk children, all children
+/// work-steal across the one shared pool regardless of which cell they
+/// belong to, and per-cell results fold back in submission order.
+///
+/// Equivalent to calling [`sweep_pair_ttr`] per cell in order — the
+/// sequential outer loop the artifact pipelines used to run — but the
+/// pool is spawned once and a slow cell no longer serializes the grid.
+/// Cell failures are per-cell `Err`s: one impossible cell does not poison
+/// its neighbors. `tests/task_tree.rs` pins the per-cell equivalence,
+/// `tests/repro_determinism.rs` the bit-identical artifacts.
+pub fn sweep_pair_grid(
+    cells: Vec<SweepCell>,
+    parallel: &ParallelConfig,
+) -> Vec<Result<PairSweep, SweepError>> {
+    let threads = parallel.requested_threads();
+    pool::run_tree(
+        cells,
+        parallel,
+        move |_cell_index, cell: SweepCell| match PairSweepPlan::new(
+            cell.algorithm,
+            cell.n,
+            &cell.scenario,
+            &cell.cfg,
+        ) {
+            Ok(plan) => {
+                let plan = Arc::new(plan);
+                let kids = plan_chunks(&plan, plan.total_samples(), threads);
+                (Ok(plan), kids)
+            }
+            Err(e) => (Err(e), Vec::new()),
+        },
+        |_path, (plan, range): (Arc<PairSweepPlan>, Range<usize>)| plan.eval_chunk(range),
+    )
+    .into_iter()
+    .map(|(plan, parts)| plan.and_then(|p| p.finish(parts)))
+    .collect()
+}
+
 /// Measures times-to-rendezvous for one algorithm on one scenario across
-/// wake-up shifts (and seeds, for randomized algorithms).
+/// wake-up shifts (and seeds, for randomized algorithms) — the
+/// single-cell case of [`sweep_pair_grid`].
 ///
 /// Samples that miss the horizon are *counted* in `failures` and excluded
 /// from the summary — for the deterministic algorithms a non-zero failure
 /// count within their guarantee horizon indicates a bug and is asserted
 /// against throughout the test suite.
 ///
-/// Schedule construction is hoisted out of the `(shift × seed)` grid: for
-/// every algorithm whose schedule does not depend on the wake slot
-/// ([`Algorithm::wake_sensitive`] is false — all but the beacon protocols)
-/// both schedules are built **once per seed**, compiled to period tables
-/// when small enough, and shared read-only across the work-stealing
-/// workers. The beacon protocols, whose schedules listen to a
-/// globally-timed stream, keep the per-(shift, seed) construction (inside
-/// the workers, so it parallelizes too).
+/// Schedule construction is hoisted out of the `(shift × seed)` grid and
+/// shared read-only across the work-stealing workers (see
+/// `PairSweepPlan::new`).
 ///
 /// # Errors
 ///
@@ -220,135 +456,20 @@ pub fn sweep_pair_ttr(
     scenario: &PairScenario,
     cfg: &SweepConfig,
 ) -> Result<PairSweep, SweepError> {
-    if !scenario.a.overlaps(&scenario.b) {
-        return Err(SweepError::DisjointSets);
-    }
-    let k = scenario.a.len();
-    let ell = scenario.b.len();
-    let horizon = if cfg.horizon_override > 0 {
-        cfg.horizon_override
-    } else {
-        algorithm.horizon(n, k, ell)
+    let parallel = ParallelConfig {
+        threads: cfg.threads,
     };
-    let seeds = if algorithm.is_deterministic() {
-        1
-    } else {
-        cfg.seeds.max(1)
-    };
-
-    // Probe instantiation once up front so an impossible scenario is a
-    // typed error instead of `shifts × seeds` silent failures.
-    let (probe_a, probe_b) = seed_ctxs(0, 0);
-    if algorithm.make(n, &scenario.a, &probe_a).is_none()
-        || algorithm.make(n, &scenario.b, &probe_b).is_none()
-    {
-        return Err(SweepError::Unsupported { algorithm, n });
-    }
-
-    let stride = if cfg.spread_over_period {
-        // Probe one schedule for its period and spread shifts across it,
-        // with a prime-ish offset so we don't only sample period multiples.
-        algorithm
-            .make(n, &scenario.a, &AgentCtx::default())
-            .and_then(|s| s.period_hint())
-            .map(|p| (p / cfg.shifts.max(1)).max(1) | 1)
-            .unwrap_or(cfg.shift_stride.max(1))
-    } else {
-        cfg.shift_stride.max(1)
-    };
-    let shift_jobs: Vec<u64> = (0..cfg.shifts).map(|i| i * stride).collect();
-
-    // Build (and compile) once per seed for wake-insensitive algorithms;
-    // `None` marks a seed whose schedules could not be instantiated, which
-    // the workers count as one failure per swept shift (matching the old
-    // per-sample accounting).
-    type PreparedPair = Option<(PreparedSchedule<DynSchedule>, PreparedSchedule<DynSchedule>)>;
-    let prepared: Option<Vec<PreparedPair>> = if algorithm.wake_sensitive() {
-        None
-    } else {
-        Some(
-            (0..seeds)
-                .map(|seed| {
-                    let (ctx_a, ctx_b) = seed_ctxs(seed, 0);
-                    match (
-                        algorithm.make(n, &scenario.a, &ctx_a),
-                        algorithm.make(n, &scenario.b, &ctx_b),
-                    ) {
-                        (Some(sa), Some(sb)) => {
-                            Some((PreparedSchedule::new(sa), PreparedSchedule::new(sb)))
-                        }
-                        _ => None,
-                    }
-                })
-                .collect(),
-        )
-    };
-
-    // Shard the flat sample grid (sample = shift-major, seed-minor) into
-    // chunked tasks for the work-stealing pool.
-    let total_samples = shift_jobs.len() * seeds as usize;
-    let tasks: Vec<Range<usize>> = (0..total_samples)
-        .step_by(SAMPLES_PER_TASK)
-        .map(|start| start..(start + SAMPLES_PER_TASK).min(total_samples))
-        .collect();
-
-    let prepared = &prepared;
-    let shift_jobs = &shift_jobs;
-    let results: Vec<(Vec<u64>, usize)> = pool::run_indexed(
-        tasks,
-        &ParallelConfig {
-            threads: cfg.threads,
-        },
-        |_task_idx, range| {
-            let mut local = Vec::with_capacity(range.len());
-            let mut local_failures = 0usize;
-            for sample in range {
-                let shift = shift_jobs[sample / seeds as usize];
-                let seed = (sample % seeds as usize) as u64;
-                let outcome = if let Some(prepared) = prepared {
-                    match &prepared[seed as usize] {
-                        Some((sa, sb)) => verify::async_ttr_prepared(sa, sb, shift, horizon),
-                        None => {
-                            local_failures += 1;
-                            continue;
-                        }
-                    }
-                } else {
-                    let (ctx_a, ctx_b) = seed_ctxs(seed, shift);
-                    let (Some(sa), Some(sb)) = (
-                        algorithm.make(n, &scenario.a, &ctx_a),
-                        algorithm.make(n, &scenario.b, &ctx_b),
-                    ) else {
-                        local_failures += 1;
-                        continue;
-                    };
-                    verify::async_ttr(&sa, &sb, shift, horizon)
-                };
-                match outcome {
-                    Some(ttr) => local.push(ttr),
-                    None => local_failures += 1,
-                }
-            }
-            (local, local_failures)
-        },
-    );
-
-    let mut samples = Vec::with_capacity(total_samples);
-    let mut failures = 0usize;
-    for (local, f) in results {
-        samples.extend(local);
-        failures += f;
-    }
-    let summary = Summary::of(&samples).ok_or(SweepError::NoSamples { failures })?;
-    Ok(PairSweep {
-        algorithm,
-        n,
-        k,
-        ell,
-        summary,
-        failures,
-        horizon,
-    })
+    sweep_pair_grid(
+        vec![SweepCell {
+            algorithm,
+            n,
+            scenario: scenario.clone(),
+            cfg: *cfg,
+        }],
+        &parallel,
+    )
+    .pop()
+    .expect("one cell submitted, one result returned")
 }
 
 /// Parameters of a [`sweep_lower_bound`] run.
@@ -444,11 +565,215 @@ impl LowerBoundSweep {
     }
 }
 
+/// One `(algorithm, scenario)` cell of a lower-bound grid — the
+/// [`sweep_lower_grid`] counterpart of [`SweepCell`].
+#[derive(Debug, Clone)]
+pub struct LowerCell {
+    /// The algorithm to measure.
+    pub algorithm: Algorithm,
+    /// Universe size.
+    pub n: u64,
+    /// The scenario to measure.
+    pub scenario: PairScenario,
+    /// Per-cell parameters. `cfg.threads` is ignored inside a grid — the
+    /// grid's [`ParallelConfig`] governs the one shared pool.
+    pub cfg: LowerSweepConfig,
+}
+
+/// The validated state of one lower-bound cell: certified covering bound,
+/// shift list, and hoisted schedules — computed when the cell's parent
+/// task expands, shared read-only with its shift-chunk children.
+struct LowerSweepPlan {
+    algorithm: Algorithm,
+    n: u64,
+    k: usize,
+    ell: usize,
+    horizon: u64,
+    certified_bound: u64,
+    bound_kind: &'static str,
+    shifts: Vec<u64>,
+    exhaustive: bool,
+    scenario: PairScenario,
+    prepared: Option<(PreparedSchedule<DynSchedule>, PreparedSchedule<DynSchedule>)>,
+}
+
+impl LowerSweepPlan {
+    fn new(
+        algorithm: Algorithm,
+        n: u64,
+        scenario: &PairScenario,
+        cfg: &LowerSweepConfig,
+    ) -> Result<Self, SweepError> {
+        if !scenario.a.overlaps(&scenario.b) {
+            return Err(SweepError::DisjointSets);
+        }
+        let k = scenario.a.len();
+        let ell = scenario.b.len();
+        let horizon = if cfg.horizon_override > 0 {
+            cfg.horizon_override
+        } else {
+            algorithm.horizon(n, k, ell)
+        };
+
+        let (ctx_a, ctx_b) = seed_ctxs(0, 0);
+        let (Some(sa), Some(sb)) = (
+            algorithm.make(n, &scenario.a, &ctx_a),
+            algorithm.make(n, &scenario.b, &ctx_b),
+        ) else {
+            return Err(SweepError::Unsupported { algorithm, n });
+        };
+
+        // The certified lower bound for this concrete pair of schedules.
+        let (certified_bound, bound_kind) = if cfg.sync {
+            (0, "trivial (single alignment)")
+        } else if algorithm.wake_sensitive() {
+            (0, "none (wake-sensitive schedule)")
+        } else {
+            let bound = rdv_lower::best_bound(&sa, &sb);
+            if sa.period_hint().is_some() {
+                (bound, "covering (Thm 7 density argument)")
+            } else {
+                (bound, "none (aperiodic schedule)")
+            }
+        };
+
+        // The shift list: exhaustive over one period of σ_A when it fits,
+        // sampled with a period-spread stride otherwise.
+        let (shifts, exhaustive): (Vec<u64>, bool) = if cfg.sync {
+            (vec![0], false)
+        } else {
+            match sa.period_hint() {
+                Some(p) if p <= cfg.max_exhaustive_shifts => ((0..p).collect(), true),
+                hint => {
+                    let count = cfg.sampled_shifts.max(1);
+                    let stride = hint.map(|p| (p / count).max(1) | 1).unwrap_or(13);
+                    ((0..count).map(|i| i * stride).collect(), false)
+                }
+            }
+        };
+
+        let prepared = if algorithm.wake_sensitive() {
+            None
+        } else {
+            Some((PreparedSchedule::new(sa), PreparedSchedule::new(sb)))
+        };
+
+        Ok(LowerSweepPlan {
+            algorithm,
+            n,
+            k,
+            ell,
+            horizon,
+            certified_bound,
+            bound_kind,
+            shifts,
+            exhaustive,
+            scenario: scenario.clone(),
+            prepared,
+        })
+    }
+
+    /// Evaluates one chunk of the shift list — a child task's work.
+    /// Returns `(worst ttr with its smallest shift, failures)`.
+    fn eval_chunk(&self, range: Range<usize>) -> (Option<(u64, u64)>, usize) {
+        let mut worst: Option<(u64, u64)> = None;
+        let mut failures = 0usize;
+        for at in range {
+            let shift = self.shifts[at];
+            let outcome = match &self.prepared {
+                Some((pa, pb)) => verify::async_ttr_prepared(pa, pb, shift, self.horizon),
+                None => {
+                    let (ctx_a, ctx_b) = seed_ctxs(0, shift);
+                    match (
+                        self.algorithm.make(self.n, &self.scenario.a, &ctx_a),
+                        self.algorithm.make(self.n, &self.scenario.b, &ctx_b),
+                    ) {
+                        (Some(sa), Some(sb)) => verify::async_ttr(&sa, &sb, shift, self.horizon),
+                        _ => None,
+                    }
+                }
+            };
+            match outcome {
+                Some(ttr) if worst.is_none_or(|(w, _)| ttr > w) => worst = Some((ttr, shift)),
+                Some(_) => {}
+                None => failures += 1,
+            }
+        }
+        (worst, failures)
+    }
+
+    /// Folds the chunk results (in child order — the strict `>` fold
+    /// keeps the smallest witness shift independent of chunk boundaries)
+    /// into the cell's lower-bound record.
+    fn finish(
+        &self,
+        parts: Vec<(Option<(u64, u64)>, usize)>,
+    ) -> Result<LowerBoundSweep, SweepError> {
+        let mut worst: Option<(u64, u64)> = None;
+        let mut failures = 0usize;
+        for (local, f) in parts {
+            failures += f;
+            if let Some((ttr, shift)) = local {
+                if worst.is_none_or(|(w, _)| ttr > w) {
+                    worst = Some((ttr, shift));
+                }
+            }
+        }
+        let (witness_ttr, witness_shift) = worst.ok_or(SweepError::NoSamples { failures })?;
+        Ok(LowerBoundSweep {
+            algorithm: self.algorithm,
+            n: self.n,
+            k: self.k,
+            ell: self.ell,
+            certified_bound: self.certified_bound,
+            bound_kind: self.bound_kind,
+            witness_ttr,
+            witness_shift,
+            shifts_swept: self.shifts.len() as u64,
+            exhaustive: self.exhaustive,
+            failures,
+            horizon: self.horizon,
+        })
+    }
+}
+
+/// Sweeps a whole lower-bound grid as one task-tree submission — the
+/// [`sweep_pair_grid`] counterpart behind the `repro lower` pipeline's
+/// measurement cells. Cells are parents, shift chunks are children, and
+/// stealing crosses cells.
+pub fn sweep_lower_grid(
+    cells: Vec<LowerCell>,
+    parallel: &ParallelConfig,
+) -> Vec<Result<LowerBoundSweep, SweepError>> {
+    let threads = parallel.requested_threads();
+    pool::run_tree(
+        cells,
+        parallel,
+        move |_cell_index, cell: LowerCell| match LowerSweepPlan::new(
+            cell.algorithm,
+            cell.n,
+            &cell.scenario,
+            &cell.cfg,
+        ) {
+            Ok(plan) => {
+                let plan = Arc::new(plan);
+                let kids = plan_chunks(&plan, plan.shifts.len(), threads);
+                (Ok(plan), kids)
+            }
+            Err(e) => (Err(e), Vec::new()),
+        },
+        |_path, (plan, range): (Arc<LowerSweepPlan>, Range<usize>)| plan.eval_chunk(range),
+    )
+    .into_iter()
+    .map(|(plan, parts)| plan.and_then(|p| p.finish(parts)))
+    .collect()
+}
+
 /// Measures one lower-bound cell: computes the certified covering bound
 /// for the algorithm's concrete schedules on `scenario` and sweeps shifts
 /// (exhaustively when the period fits the cap) for the worst measured
-/// witness, sharded onto the work-stealing orchestrator — the entry point
-/// of the `repro lower` pipeline.
+/// witness — the single-cell case of [`sweep_lower_grid`], and the unit
+/// the `repro lower` pipeline's grid is built from.
 ///
 /// Deterministic algorithms use their single seed-0 schedule; randomized
 /// ones are measured on the seed-0 stream (the bound certifies that
@@ -467,126 +792,20 @@ pub fn sweep_lower_bound(
     scenario: &PairScenario,
     cfg: &LowerSweepConfig,
 ) -> Result<LowerBoundSweep, SweepError> {
-    if !scenario.a.overlaps(&scenario.b) {
-        return Err(SweepError::DisjointSets);
-    }
-    let k = scenario.a.len();
-    let ell = scenario.b.len();
-    let horizon = if cfg.horizon_override > 0 {
-        cfg.horizon_override
-    } else {
-        algorithm.horizon(n, k, ell)
+    let parallel = ParallelConfig {
+        threads: cfg.threads,
     };
-
-    let (ctx_a, ctx_b) = seed_ctxs(0, 0);
-    let (Some(sa), Some(sb)) = (
-        algorithm.make(n, &scenario.a, &ctx_a),
-        algorithm.make(n, &scenario.b, &ctx_b),
-    ) else {
-        return Err(SweepError::Unsupported { algorithm, n });
-    };
-
-    // The certified lower bound for this concrete pair of schedules.
-    let (certified_bound, bound_kind) = if cfg.sync {
-        (0, "trivial (single alignment)")
-    } else if algorithm.wake_sensitive() {
-        (0, "none (wake-sensitive schedule)")
-    } else {
-        let bound = rdv_lower::best_bound(&sa, &sb);
-        if sa.period_hint().is_some() {
-            (bound, "covering (Thm 7 density argument)")
-        } else {
-            (bound, "none (aperiodic schedule)")
-        }
-    };
-
-    // The shift list: exhaustive over one period of σ_A when it fits,
-    // sampled with a period-spread stride otherwise.
-    let (shifts, exhaustive): (Vec<u64>, bool) = if cfg.sync {
-        (vec![0], false)
-    } else {
-        match sa.period_hint() {
-            Some(p) if p <= cfg.max_exhaustive_shifts => ((0..p).collect(), true),
-            hint => {
-                let count = cfg.sampled_shifts.max(1);
-                let stride = hint.map(|p| (p / count).max(1) | 1).unwrap_or(13);
-                ((0..count).map(|i| i * stride).collect(), false)
-            }
-        }
-    };
-    let shifts_swept = shifts.len() as u64;
-
-    let prepared = if algorithm.wake_sensitive() {
-        None
-    } else {
-        Some((PreparedSchedule::new(sa), PreparedSchedule::new(sb)))
-    };
-
-    let tasks: Vec<Range<usize>> = (0..shifts.len())
-        .step_by(SAMPLES_PER_TASK)
-        .map(|start| start..(start + SAMPLES_PER_TASK).min(shifts.len()))
-        .collect();
-    let (prepared, shifts) = (&prepared, &shifts);
-    // Per task: (worst ttr, smallest shift achieving it, failures). The
-    // task-order fold below keeps the merge independent of scheduling.
-    let results: Vec<(Option<(u64, u64)>, usize)> = pool::run_indexed(
-        tasks,
-        &ParallelConfig {
-            threads: cfg.threads,
-        },
-        |_task_idx, range| {
-            let mut worst: Option<(u64, u64)> = None;
-            let mut failures = 0usize;
-            for at in range {
-                let shift = shifts[at];
-                let outcome = match prepared {
-                    Some((pa, pb)) => verify::async_ttr_prepared(pa, pb, shift, horizon),
-                    None => {
-                        let (ctx_a, ctx_b) = seed_ctxs(0, shift);
-                        match (
-                            algorithm.make(n, &scenario.a, &ctx_a),
-                            algorithm.make(n, &scenario.b, &ctx_b),
-                        ) {
-                            (Some(sa), Some(sb)) => verify::async_ttr(&sa, &sb, shift, horizon),
-                            _ => None,
-                        }
-                    }
-                };
-                match outcome {
-                    Some(ttr) if worst.is_none_or(|(w, _)| ttr > w) => worst = Some((ttr, shift)),
-                    Some(_) => {}
-                    None => failures += 1,
-                }
-            }
-            (worst, failures)
-        },
-    );
-
-    let mut worst: Option<(u64, u64)> = None;
-    let mut failures = 0usize;
-    for (local, f) in results {
-        failures += f;
-        if let Some((ttr, shift)) = local {
-            if worst.is_none_or(|(w, _)| ttr > w) {
-                worst = Some((ttr, shift));
-            }
-        }
-    }
-    let (witness_ttr, witness_shift) = worst.ok_or(SweepError::NoSamples { failures })?;
-    Ok(LowerBoundSweep {
-        algorithm,
-        n,
-        k,
-        ell,
-        certified_bound,
-        bound_kind,
-        witness_ttr,
-        witness_shift,
-        shifts_swept,
-        exhaustive,
-        failures,
-        horizon,
-    })
+    sweep_lower_grid(
+        vec![LowerCell {
+            algorithm,
+            n,
+            scenario: scenario.clone(),
+            cfg: *cfg,
+        }],
+        &parallel,
+    )
+    .pop()
+    .expect("one cell submitted, one result returned")
 }
 
 #[cfg(test)]

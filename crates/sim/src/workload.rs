@@ -118,6 +118,23 @@ pub fn coalition_pair(
     band: usize,
     seed: u64,
 ) -> Result<PairScenario, SweepError> {
+    coalition_pair_with_budget(n, k, band, seed, None)
+}
+
+/// [`coalition_pair`] with an explicit rejection-sampler attempt budget —
+/// the test seam that lets the (otherwise astronomically unlikely)
+/// [`SweepError::SamplingExhausted`] path be exercised deterministically.
+/// `None` uses the production budget of 64 + 64 draws per needed private
+/// channel; the budget only matters in the sparse sampling regime (the
+/// dense regime shuffles exactly and never retries).
+#[doc(hidden)]
+pub fn coalition_pair_with_budget(
+    n: u64,
+    k: usize,
+    band: usize,
+    seed: u64,
+    budget_override: Option<u32>,
+) -> Result<PairScenario, SweepError> {
     if band == 0 || band > k || (2 * k) as u64 > n {
         return Err(SweepError::InvalidScenario {
             reason: "coalition needs 0 < band ≤ k and 2k ≤ n",
@@ -148,7 +165,7 @@ pub fn coalition_pair(
         // the two sides stay disjoint. Each draw succeeds with
         // probability > 1/2, so the budget below fails with probability
         // < 2^-64 per needed channel.
-        let budget = 64 + 64 * (2 * private_per_side) as u32;
+        let budget = budget_override.unwrap_or(64 + 64 * (2 * private_per_side) as u32);
         let mut taken: HashSet<u64> = HashSet::new();
         let mut attempts = 0u32;
         let sample_pool = |rng: &mut StdRng,

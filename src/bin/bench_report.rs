@@ -7,11 +7,17 @@
 //! * **`BENCH_multiuser.json`** — pair-slots/sec of the shared-arena
 //!   multi-user engine vs the seed per-pair engine on clustered
 //!   populations from 64 to 10k agents.
+//! * **`BENCH_tree.json`** — whole-grid wall-clock of the smoke-tier
+//!   `table1` measurement grid run as the former sequential outer loop
+//!   (one per-cell pool submission per cell) vs as **one task-tree
+//!   submission** (`rdv_sim::sweep_pair_grid`), at 8 requested worker
+//!   threads.
 //!
 //! ```text
 //! cargo run --release --bin bench_report -- \
-//!     [--suite kernel|multiuser|all] [--out-dir DIR] [--smoke] \
-//!     [--baseline FILE]... [--max-regression-pct 30] [--min-arena-speedup X]
+//!     [--suite kernel|multiuser|tree|all] [--out-dir DIR] [--smoke] \
+//!     [--baseline FILE]... [--max-regression-pct 30] \
+//!     [--min-arena-speedup X] [--min-tree-speedup X]
 //! ```
 //!
 //! `--baseline` may be given multiple times; each file names its suite
@@ -22,13 +28,19 @@
 //! repetitions for CI; the workloads are identical, so smoke runs gate
 //! against full-tier baselines. `--min-arena-speedup` additionally fails
 //! the gate if the dense-population arena-vs-per-pair speedup falls
-//! below the given factor.
+//! below the given factor, and `--min-tree-speedup` if the
+//! whole-grid-tree-vs-sequential-outer-loop speedup does (the latter is
+//! machine-portable — both sides run on the same pool configuration — so
+//! CI gates the ratio rather than a raw-throughput baseline).
 
 use blind_rendezvous::core::general::GeneralSchedule;
 use blind_rendezvous::core::verify;
+use blind_rendezvous::pipelines;
+use blind_rendezvous::report::Tier;
 use rdv_core::schedule::Schedule;
 use rdv_sim::engine::{EngineConfig, MeetingReport, ResolveMode, Simulation};
-use rdv_sim::{workload, Algorithm, ParallelConfig};
+use rdv_sim::sweep::{sweep_pair_grid, sweep_pair_ttr, SweepCell};
+use rdv_sim::{workload, Algorithm, PairSweep, ParallelConfig};
 use serde_json::Value;
 use std::time::Instant;
 
@@ -364,6 +376,128 @@ fn multiuser_suite(smoke: bool) -> Suite {
     }
 }
 
+// ------------------------------------------------------------------ tree
+
+/// Worker threads of the tree suite — fixed (not auto-detected) so the
+/// committed report is comparable across machines, and matching the
+/// acceptance bar the suite gates ("speedup at 8 threads").
+const TREE_THREADS: usize = 8;
+
+/// The whole-grid orchestration suite: the smoke-tier `table1` measurement
+/// grid (the same cells, in the same order, as the artifact pipeline)
+/// swept twice at [`TREE_THREADS`] requested workers — once as the former
+/// **sequential outer loop**, one per-cell pool submission per cell, and
+/// once as **one task-tree submission** where every cell is a parent and
+/// all cells' chunk children steal from one shared pool. The two drivers
+/// are asserted bit-identical before anything is timed; the gated number
+/// is their wall-clock ratio.
+fn tree_suite(smoke: bool) -> Suite {
+    let cells = pipelines::table1_cells(Tier::Smoke, TREE_THREADS);
+    let parallel = ParallelConfig::with_threads(TREE_THREADS);
+
+    let sequential = |cells: &[SweepCell]| -> Vec<PairSweep> {
+        cells
+            .iter()
+            .map(|c| {
+                sweep_pair_ttr(c.algorithm, c.n, &c.scenario, &c.cfg)
+                    .expect("smoke grid cells sweep")
+            })
+            .collect()
+    };
+    let tree = |cells: &[SweepCell]| -> Vec<PairSweep> {
+        sweep_pair_grid(cells.to_vec(), &parallel)
+            .into_iter()
+            .map(|r| r.expect("smoke grid cells sweep"))
+            .collect()
+    };
+    let seq_sweeps = sequential(&cells);
+    let tree_sweeps = tree(&cells);
+    assert_eq!(seq_sweeps.len(), tree_sweeps.len());
+    for (s, t) in seq_sweeps.iter().zip(&tree_sweeps) {
+        assert_eq!(
+            serde_json::to_string(&s.to_json()),
+            serde_json::to_string(&t.to_json()),
+            "tree and sequential-outer-loop grids diverged"
+        );
+    }
+
+    // The gated quantity is a ratio of two ~tens-of-ms measurements, so
+    // give it a longer budget than the throughput suites even at the
+    // smoke tier — one extra second buys a stable gate on noisy shared
+    // runners.
+    let (min_secs, min_reps) = if smoke { (0.5, 8) } else { (1.5, 15) };
+    let seq_secs = time_reps(
+        || {
+            std::hint::black_box(sequential(&cells));
+        },
+        min_secs,
+        min_reps,
+    );
+    let tree_secs = time_reps(
+        || {
+            std::hint::black_box(tree(&cells));
+        },
+        min_secs,
+        min_reps,
+    );
+    let speedup = seq_secs / tree_secs;
+    let n_cells = cells.len() as u64;
+    println!(
+        "tree      cells={:<6} seq={:>9.1} ms/grid   tree={:>9.1} ms/grid   speedup={speedup:.1}x",
+        n_cells,
+        seq_secs * 1e3,
+        tree_secs * 1e3
+    );
+    let report = Value::object([
+        ("bench", Value::from("task_tree_grid")),
+        (
+            "workload",
+            Value::from(
+                "smoke-tier table1 measurement grid (8 algorithms × sync/async × sym/asym × n \
+                 ladder), 8 requested worker threads",
+            ),
+        ),
+        (
+            "unit",
+            Value::from("grid cells swept per second (whole-grid wall clock)"),
+        ),
+        // The measured ratio is hardware-dependent: the tree's wall-clock
+        // win comes from cross-cell stealing, so single-core hosts only
+        // see the spawn-amortization floor. `host_threads` records what
+        // the machine could actually overlap.
+        (
+            "host_threads",
+            Value::from(
+                std::thread::available_parallelism()
+                    .map(|v| v.get())
+                    .unwrap_or(1),
+            ),
+        ),
+        (
+            "scenarios",
+            Value::Array(vec![Value::object([
+                ("cells", Value::from(n_cells)),
+                ("threads", Value::from(TREE_THREADS)),
+                ("seq_secs", Value::from(seq_secs)),
+                ("tree_secs", Value::from(tree_secs)),
+                ("seq_cells_per_sec", Value::from(n_cells as f64 / seq_secs)),
+                (
+                    "tree_cells_per_sec",
+                    Value::from(n_cells as f64 / tree_secs),
+                ),
+                ("speedup", Value::from(speedup)),
+            ])]),
+        ),
+    ]);
+    Suite {
+        bench: "task_tree_grid",
+        file: "BENCH_tree.json",
+        key_label: "cells",
+        gate_points: vec![(n_cells, n_cells as f64 / tree_secs)],
+        report,
+    }
+}
+
 // ------------------------------------------------------------------ gate
 
 /// Parses a baseline report into its `bench` id and `(key, throughput)`
@@ -379,6 +513,7 @@ fn baseline_points(path: &str) -> (String, Vec<(u64, f64)>) {
         .to_string();
     let (key, rate) = match bench.as_str() {
         "multiuser_arena_engine" => ("n_agents", "arena_pair_slots_per_sec"),
+        "task_tree_grid" => ("cells", "tree_cells_per_sec"),
         _ => ("n", "block_slots_per_sec"),
     };
     let points = doc
@@ -459,10 +594,11 @@ fn main() {
     // ignoring either would turn the CI perf gate into a no-op (e.g. a
     // typoed `--min-arena-speed` would drop the speedup floor with a
     // green exit).
-    const VALUE_FLAGS: [&str; 5] = [
+    const VALUE_FLAGS: [&str; 6] = [
         "--baseline",
         "--max-regression-pct",
         "--min-arena-speedup",
+        "--min-tree-speedup",
         "--suite",
         "--out-dir",
     ];
@@ -499,6 +635,8 @@ fn main() {
         .unwrap_or(30.0);
     let min_arena_speedup: Option<f64> = flag_value("--min-arena-speedup")
         .map(|v| v.parse().expect("--min-arena-speedup takes a number"));
+    let min_tree_speedup: Option<f64> = flag_value("--min-tree-speedup")
+        .map(|v| v.parse().expect("--min-tree-speedup takes a number"));
     let suite_filter = flag_value("--suite").unwrap_or_else(|| "all".to_string());
     let out_dir = flag_value("--out-dir").unwrap_or_else(|| ".".to_string());
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -510,8 +648,11 @@ fn main() {
     if suite_filter == "multiuser" || suite_filter == "all" {
         suites.push(multiuser_suite(smoke));
     }
+    if suite_filter == "tree" || suite_filter == "all" {
+        suites.push(tree_suite(smoke));
+    }
     if suites.is_empty() {
-        panic!("--suite takes kernel, multiuser, or all (got {suite_filter})");
+        panic!("--suite takes kernel, multiuser, tree, or all (got {suite_filter})");
     }
 
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("creating {out_dir}: {e}"));
@@ -540,6 +681,29 @@ fn main() {
                 if speedup < min {
                     failures.push(format!(
                         "arena speedup {speedup:.1}x at n_agents={n_agents} below the {min}x floor"
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(min) = min_tree_speedup {
+        for suite in suites.iter().filter(|s| s.bench == "task_tree_grid") {
+            let scenarios = suite
+                .report
+                .get("scenarios")
+                .and_then(Value::as_array)
+                .expect("tree suite has scenarios");
+            for sc in scenarios {
+                let cells = sc.get("cells").and_then(Value::as_u64).unwrap_or(0);
+                let speedup = sc
+                    .get("speedup")
+                    .and_then(Value::as_f64)
+                    .expect("tree scenario has speedup");
+                println!("tree speedup over {cells} cells: {speedup:.1}x (floor {min}x)");
+                if speedup < min {
+                    failures.push(format!(
+                        "task-tree grid speedup {speedup:.1}x over the sequential outer loop \
+                         below the {min}x floor"
                     ));
                 }
             }

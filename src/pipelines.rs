@@ -6,6 +6,13 @@
 //! orchestrator, so every artifact is bit-identical at any worker thread
 //! count.
 //!
+//! The `table1` and `lower` measurement grids are each **one task-tree
+//! submission** (`rdv_sim::sweep_pair_grid` / `sweep_lower_grid`): every
+//! (algorithm × timing × scenario × n) cell is a parent task, its
+//! `(shift × seed)` chunks are children, and the chunks of *all* cells
+//! work-steal on one pool — so a slow cell no longer serializes an
+//! artifact run the way the former sequential per-cell loop did.
+//!
 //! Living in the library (not the `repro` binary) so the test suite can
 //! run the pipelines in-process: `tests/repro_determinism.rs` executes
 //! each one at 1 and 8 threads and asserts byte-identical JSON, the
@@ -15,9 +22,11 @@ use crate::report::{self, Artifact, PipelineOutput, Tier};
 use rdv_core::channel::ChannelSet;
 use rdv_core::general::GeneralSchedule;
 use rdv_core::symmetric::SymmetricWrapped;
-use rdv_sim::sweep::{sweep_lower_bound, sweep_pair_ttr, LowerSweepConfig, SweepConfig};
+use rdv_sim::sweep::{
+    sweep_lower_grid, sweep_pair_grid, LowerCell, LowerSweepConfig, SweepCell, SweepConfig,
+};
 use rdv_sim::workload::{self, PairScenario};
-use rdv_sim::Algorithm;
+use rdv_sim::{Algorithm, ParallelConfig};
 use serde_json::Value;
 
 /// Every algorithm the pipelines reproduce — the Table 1 rows plus the
@@ -108,6 +117,39 @@ fn header(title: &str) {
     println!();
 }
 
+/// The `table1` measurement grid as task-tree parents, in artifact row
+/// order (algorithm → scenario kind → n → timing) — one [`SweepCell`] per
+/// artifact row. Shared by [`table1::run`] and the `BENCH_tree.json`
+/// orchestration bench (`bench_report --suite tree`) so both submit the
+/// identical tree.
+pub fn table1_cells(tier: Tier, threads: usize) -> Vec<SweepCell> {
+    let (ns, shifts, seeds) = grid_dimensions(tier);
+    let mut cells = Vec::new();
+    for algo in PIPELINE_ALGOS {
+        for kind in ["asymmetric", "symmetric"] {
+            for &n in ns {
+                let scenario = grid_scenario(kind, n, GRID_K);
+                for timing in ["sync", "async"] {
+                    cells.push(SweepCell {
+                        algorithm: algo,
+                        n,
+                        scenario: scenario.clone(),
+                        cfg: SweepConfig {
+                            shifts: if timing == "sync" { 1 } else { shifts },
+                            shift_stride: 13,
+                            spread_over_period: timing == "async",
+                            seeds,
+                            horizon_override: 0,
+                            threads,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
 /// E0 — the Table 1 reproduction pipeline: all eight algorithms ×
 /// sync/async × symmetric/asymmetric across a universe-size ladder, every
 /// cell swept on the work-stealing orchestrator and its measured worst
@@ -158,6 +200,11 @@ pub mod table1 {
         ));
         let (ns, shifts, seeds) = grid_dimensions(tier);
         let k = GRID_K;
+        // The whole grid is ONE task-tree submission: cells are parents,
+        // their (shift × seed) chunks are children, and the chunks of all
+        // cells steal from one another on the shared pool.
+        let mut sweeps =
+            sweep_pair_grid(table1_cells(tier, threads), &ParallelConfig { threads }).into_iter();
         let mut artifact = Artifact::new("table1", tier);
         let mut rows = Vec::new();
         let mut curves = Vec::new();
@@ -173,17 +220,16 @@ pub mod table1 {
                     let scenario = grid_scenario(kind, n, k);
                     let (bound, bound_kind, gated) = cell_bound(algo, n, &scenario);
                     for timing in ["sync", "async"] {
-                        let cfg = SweepConfig {
-                            shifts: if timing == "sync" { 1 } else { shifts },
-                            shift_stride: 13,
-                            spread_over_period: timing == "async",
-                            seeds,
-                            horizon_override: 0,
-                            threads,
-                        };
-                        let sweep = sweep_pair_ttr(algo, n, &scenario, &cfg).unwrap_or_else(|e| {
-                            panic!("pipeline cell {algo}/{timing}/{kind}/n={n}: {e}")
-                        });
+                        let sweep = sweeps
+                            .next()
+                            .expect("cell list and consumption loop are aligned")
+                            .unwrap_or_else(|e| {
+                                panic!("pipeline cell {algo}/{timing}/{kind}/n={n}: {e}")
+                            });
+                        // The builder (table1_cells) and this consumption
+                        // nest must walk the grid in lock-step; catch a
+                        // mispairing at the cell, not at the artifact diff.
+                        assert_eq!((sweep.algorithm, sweep.n), (algo, n), "grid misaligned");
                         let ok = sweep.failures == 0 && sweep.summary.max <= bound;
                         if gated && !ok {
                             artifact.violation(format!(
@@ -231,6 +277,7 @@ pub mod table1 {
                 ]));
             }
         }
+        assert!(sweeps.next().is_none(), "grid cells left unconsumed");
 
         artifact.section(
             "config",
@@ -282,11 +329,36 @@ pub mod lower {
         }
     }
 
-    /// The measurement grid: one lower-bound cell per `table1` cell.
+    /// The measurement grid: one lower-bound cell per `table1` cell, the
+    /// whole grid one task-tree submission (cells are parents, shift
+    /// chunks are children, stealing crosses cells).
     fn grid_cells(artifact: &mut Artifact, threads: usize) -> Vec<Value> {
         let (ns, _, _) = grid_dimensions(artifact.tier());
         let (max_exhaustive, sampled) = shift_dimensions(artifact.tier());
         let k = GRID_K;
+        let mut cells = Vec::new();
+        for algo in PIPELINE_ALGOS {
+            for kind in ["asymmetric", "symmetric"] {
+                for &n in ns {
+                    let scenario = grid_scenario(kind, n, k);
+                    for timing in ["sync", "async"] {
+                        cells.push(LowerCell {
+                            algorithm: algo,
+                            n,
+                            scenario: scenario.clone(),
+                            cfg: LowerSweepConfig {
+                                sync: timing == "sync",
+                                max_exhaustive_shifts: max_exhaustive,
+                                sampled_shifts: sampled,
+                                horizon_override: 0,
+                                threads,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        let mut swept = sweep_lower_grid(cells, &ParallelConfig { threads }).into_iter();
         let mut rows = Vec::new();
         println!(
             "{:<16}{:<7}{:<11}{:>6}{:>10}{:>12}{:>12}  sandwich",
@@ -298,17 +370,14 @@ pub mod lower {
                     let scenario = grid_scenario(kind, n, k);
                     let (upper, upper_kind, gated) = cell_bound(algo, n, &scenario);
                     for timing in ["sync", "async"] {
-                        let cfg = LowerSweepConfig {
-                            sync: timing == "sync",
-                            max_exhaustive_shifts: max_exhaustive,
-                            sampled_shifts: sampled,
-                            horizon_override: 0,
-                            threads,
-                        };
-                        let cell =
-                            sweep_lower_bound(algo, n, &scenario, &cfg).unwrap_or_else(|e| {
+                        let cell = swept
+                            .next()
+                            .expect("cell list and consumption loop are aligned")
+                            .unwrap_or_else(|e| {
                                 panic!("lower cell {algo}/{timing}/{kind}/n={n}: {e}")
                             });
+                        // Builder/consumer lock-step guard, as in table1.
+                        assert_eq!((cell.algorithm, cell.n), (algo, n), "grid misaligned");
                         let lower_ok = cell.lower_slice_ok();
                         let upper_ok = cell.failures == 0 && cell.witness_ttr <= upper;
                         let ok = lower_ok && (!gated || upper_ok);
@@ -355,6 +424,7 @@ pub mod lower {
                 }
             }
         }
+        assert!(swept.next().is_none(), "grid cells left unconsumed");
         rows
     }
 

@@ -61,13 +61,27 @@ fn sdp_pipeline_is_thread_count_invariant_and_matches_committed() {
 }
 
 #[test]
-fn table1_pipeline_matches_committed() {
-    // table1's cross-thread invariance is covered by its own sweep-level
-    // determinism tests; here the single run pins the committed artifact.
-    let out = pipelines::table1::run(Tier::Smoke, 1);
-    assert!(out.violations.is_empty(), "{:?}", out.violations);
+fn table1_pipeline_is_thread_count_invariant_and_matches_committed() {
+    // The whole grid now routes through one task-tree submission
+    // (`sweep_pair_grid`): the 1-thread run is the literal sequential
+    // nested loop, the 8-thread run steals chunks across cells — both
+    // must serialize byte-identically, and match the committed artifact,
+    // pinning that the tree refactor changed scheduling, not results.
+    let single = pipelines::table1::run(Tier::Smoke, 1);
+    let multi = pipelines::table1::run(Tier::Smoke, 8);
+    assert!(
+        single.violations.is_empty(),
+        "smoke table1 pipeline violated a bound: {:?}",
+        single.violations
+    );
     assert_eq!(
-        pretty(&out),
+        pretty(&single),
+        pretty(&multi),
+        "table1 artifact diverged between 1 and 8 worker threads"
+    );
+    assert_eq!(single.markdown, multi.markdown);
+    assert_eq!(
+        pretty(&single),
         committed("REPRO_table1.json"),
         "regenerate with: cargo run --release --bin repro -- --smoke table1"
     );

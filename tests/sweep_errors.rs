@@ -1,0 +1,106 @@
+//! Error-path coverage of the typed sweep failures: the scenario
+//! generators and sweep entry points must surface
+//! `SweepError::{InvalidScenario, SamplingExhausted, DisjointSets}` (and
+//! friends) as typed, displayable errors rather than panics or hangs —
+//! previously only their happy paths were exercised by integration tests.
+
+use blind_rendezvous::prelude::*;
+use blind_rendezvous::sim::workload::{self, PairScenario};
+use blind_rendezvous::sim::{
+    sweep_lower_bound, sweep_pair_ttr, LowerSweepConfig, SweepConfig, SweepError,
+};
+
+#[test]
+fn coalition_parameter_errors_are_invalid_scenario() {
+    // band > k, band == 0, and 2k > n can never produce a coalition: each
+    // must be caught before any sampling, with an explanatory message.
+    for (n, k, band) in [(10u64, 3usize, 4usize), (10, 3, 0), (10, 6, 2)] {
+        let err = workload::coalition_pair(n, k, band, 0)
+            .expect_err("infeasible coalition parameters must not sample");
+        assert!(
+            matches!(err, SweepError::InvalidScenario { .. }),
+            "({n}, {k}, {band}) produced {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("invalid scenario parameters"), "{msg}");
+        assert!(msg.contains("coalition needs"), "{msg}");
+    }
+}
+
+#[test]
+fn exhausted_sampler_is_a_typed_error_not_a_hang() {
+    // Sparse regime (4 · private-per-side < usable spectrum) with a zero
+    // attempt budget: the bounded sampler must give up immediately with
+    // the typed error — the regression fence against the former unbounded
+    // resample loop.
+    let err = workload::coalition_pair_with_budget(1 << 16, 5, 2, 11, Some(0))
+        .expect_err("a zero budget cannot sample anything");
+    assert_eq!(err, SweepError::SamplingExhausted { attempts: 0 });
+    assert!(err.to_string().contains("gave up after 0 draws"), "{err}");
+    // A generous budget on the same parameters succeeds — the error above
+    // came from the budget, not from infeasibility.
+    let ok = workload::coalition_pair_with_budget(1 << 16, 5, 2, 11, Some(10_000))
+        .expect("feasible parameters with a real budget");
+    assert_eq!(
+        ok,
+        workload::coalition_pair(1 << 16, 5, 2, 11).expect("same scenario")
+    );
+}
+
+#[test]
+fn disjoint_sets_surface_from_every_entry_point() {
+    // Scenario validation…
+    assert_eq!(
+        PairScenario::try_new(vec![1u64, 2], vec![3, 4]),
+        Err(SweepError::DisjointSets)
+    );
+    // …and both sweep entry points, before any sampling happens.
+    let disjoint = PairScenario {
+        a: ChannelSet::new(vec![1, 2]).expect("valid"),
+        b: ChannelSet::new(vec![3, 4]).expect("valid"),
+    };
+    assert_eq!(
+        sweep_pair_ttr(Algorithm::Ours, 8, &disjoint, &SweepConfig::default())
+            .expect_err("disjoint sets cannot sweep"),
+        SweepError::DisjointSets
+    );
+    assert_eq!(
+        sweep_lower_bound(Algorithm::Ours, 8, &disjoint, &LowerSweepConfig::default())
+            .expect_err("disjoint sets cannot sweep"),
+        SweepError::DisjointSets
+    );
+}
+
+#[test]
+fn every_variant_displays_and_is_a_std_error() {
+    let variants: Vec<(SweepError, &str)> = vec![
+        (
+            SweepError::InvalidSet(blind_rendezvous::core::channel::ChannelSetError::Empty),
+            "invalid channel set",
+        ),
+        (SweepError::DisjointSets, "disjoint"),
+        (
+            SweepError::Unsupported {
+                algorithm: Algorithm::Ours,
+                n: 8,
+            },
+            "cannot be instantiated",
+        ),
+        (SweepError::NoSamples { failures: 3 }, "all 3 samples"),
+        (
+            SweepError::InvalidScenario { reason: "test" },
+            "invalid scenario parameters: test",
+        ),
+        (
+            SweepError::SamplingExhausted { attempts: 7 },
+            "gave up after 7 draws",
+        ),
+    ];
+    for (err, needle) in variants {
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{err:?} displayed as {msg:?}");
+        // Each variant must also travel as a boxed std error.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains(needle));
+    }
+}

@@ -1,0 +1,258 @@
+//! The task-tree orchestrator contract (`pool::run_tree`): parallel tree
+//! submissions must be **indistinguishable** from the sequential
+//! two-nested-loops reference for every tree shape — including empty
+//! parents, single-child parents, and whole sweep grids — at every thread
+//! count, and a panicking task must propagate instead of deadlocking the
+//! pool.
+
+use blind_rendezvous::sim::pool::{self, ParallelConfig, TreePath};
+use blind_rendezvous::sim::sweep::{sweep_pair_grid, sweep_pair_ttr, SweepCell};
+use blind_rendezvous::sim::workload::{self, PairScenario};
+use blind_rendezvous::sim::{Algorithm, SweepConfig, SweepError};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The sequential two-nested-loops reference: what a tree submission of
+/// `shape` (each parent a list of child payloads) must produce, computed
+/// with plain loops and no orchestrator.
+fn reference(shape: &[Vec<u64>]) -> Vec<(u64, Vec<u64>)> {
+    shape
+        .iter()
+        .enumerate()
+        .map(|(pi, kids)| {
+            let pr = kids.iter().fold(0u64, |a, &b| a.wrapping_add(b)) ^ pi as u64;
+            let rs = kids
+                .iter()
+                .enumerate()
+                .map(|(ci, &c)| c.wrapping_mul(3) ^ pool::tree_seed(42, pi as u64, ci as u64))
+                .collect();
+            (pr, rs)
+        })
+        .collect()
+}
+
+/// The same computation as [`reference`], submitted as a task tree.
+fn via_tree(shape: Vec<Vec<u64>>, threads: usize) -> Vec<(u64, Vec<u64>)> {
+    pool::run_tree(
+        shape,
+        &ParallelConfig::with_threads(threads),
+        |pi, kids: Vec<u64>| {
+            (
+                kids.iter().fold(0u64, |a, &b| a.wrapping_add(b)) ^ pi as u64,
+                kids,
+            )
+        },
+        |path: TreePath, c: u64| c.wrapping_mul(3) ^ path.stream_seed(42),
+    )
+}
+
+#[test]
+fn empty_single_child_and_mixed_shapes_match_reference() {
+    let shapes: Vec<Vec<Vec<u64>>> = vec![
+        vec![],                       // empty forest
+        vec![vec![], vec![], vec![]], // only empty parents
+        vec![vec![7]],                // one single-child parent
+        vec![
+            vec![9],
+            vec![],
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            vec![],
+            vec![42],
+            vec![0],
+        ],
+    ];
+    for shape in shapes {
+        let expected = reference(&shape);
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(
+                via_tree(shape.clone(), threads),
+                expected,
+                "shape {shape:?} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn run_tree_equals_the_nested_loop_reference_for_random_shapes(
+        shape in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..7), 0..14),
+        threads in 1usize..9,
+    ) {
+        prop_assert_eq!(via_tree(shape.clone(), threads), reference(&shape));
+    }
+}
+
+#[test]
+fn child_panic_propagates_without_deadlock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool::run_tree(
+            (0..16u64).collect::<Vec<_>>(),
+            &ParallelConfig::with_threads(4),
+            |_, p| ((), vec![p; 4]),
+            |path: TreePath, c: u64| {
+                if path.parent == 7 && path.child == 2 {
+                    panic!("child bomb");
+                }
+                c
+            },
+        );
+    }));
+    assert!(
+        result.is_err(),
+        "the child panic must propagate to the caller"
+    );
+}
+
+#[test]
+fn expand_panic_propagates_without_deadlock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool::run_tree(
+            (0..16u64).collect::<Vec<_>>(),
+            &ParallelConfig::with_threads(4),
+            |pi, p| {
+                if pi == 11 {
+                    panic!("expansion bomb");
+                }
+                ((), vec![p])
+            },
+            |_path: TreePath, c: u64| c,
+        );
+    }));
+    assert!(
+        result.is_err(),
+        "the expansion panic must propagate to the caller"
+    );
+}
+
+#[test]
+fn two_phase_phase_a_panic_releases_the_barrier() {
+    // Mirrors the barrier tests in `pool`: a phase-a worker dying must
+    // release the arrival barrier (drop-guard arrival) so its siblings
+    // finish and the panic surfaces at join instead of a deadlock.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool::run_two_phase(
+            &ParallelConfig::with_threads(4),
+            (0..8u64).collect::<Vec<_>>(),
+            (0..8u64).collect::<Vec<_>>(),
+            |i, _t| {
+                if i == 3 {
+                    panic!("phase-a bomb");
+                }
+            },
+            |_i, t: u64| t,
+        );
+    }));
+    assert!(
+        result.is_err(),
+        "the phase-a panic must propagate to the caller"
+    );
+}
+
+#[test]
+fn tree_seeds_are_distinct_across_grid_paths() {
+    for base in [0u64, 42, u64::MAX] {
+        let mut seen = HashSet::new();
+        for parent in 0..64u64 {
+            for child in 0..64u64 {
+                assert!(
+                    seen.insert(pool::tree_seed(base, parent, child)),
+                    "path seed collision at ({parent}, {child}) under base {base}"
+                );
+            }
+        }
+    }
+}
+
+/// The grid cells the pipeline-shaped equivalence tests submit: several
+/// algorithm classes (compiled-deterministic, long-period, randomized,
+/// wake-sensitive) across two universes.
+fn grid_cells() -> Vec<SweepCell> {
+    let cfg = SweepConfig {
+        shifts: 12,
+        shift_stride: 7,
+        spread_over_period: true,
+        seeds: 3,
+        horizon_override: 0,
+        threads: 1,
+    };
+    let mut cells = Vec::new();
+    for algo in [
+        Algorithm::Ours,
+        Algorithm::JumpStay,
+        Algorithm::Random,
+        Algorithm::BeaconB,
+    ] {
+        for n in [12u64, 16] {
+            cells.push(SweepCell {
+                algorithm: algo,
+                n,
+                scenario: workload::adversarial_overlap_one(n, 3, 3).expect("fits"),
+                cfg,
+            });
+        }
+    }
+    cells
+}
+
+#[test]
+fn grid_submission_matches_per_cell_sweeps_at_every_thread_count() {
+    let cells = grid_cells();
+    let per_cell: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let sweep = sweep_pair_ttr(c.algorithm, c.n, &c.scenario, &c.cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.algorithm));
+            serde_json::to_string(&sweep.to_json())
+        })
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let grid: Vec<String> =
+            sweep_pair_grid(cells.clone(), &ParallelConfig::with_threads(threads))
+                .into_iter()
+                .map(|r| serde_json::to_string(&r.expect("cell sweeps").to_json()))
+                .collect();
+        assert_eq!(
+            grid, per_cell,
+            "grid diverged from per-cell sweeps at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn one_bad_cell_does_not_poison_its_grid_neighbors() {
+    let mut cells = grid_cells();
+    cells.insert(
+        1,
+        SweepCell {
+            algorithm: Algorithm::Ours,
+            n: 8,
+            scenario: PairScenario {
+                a: blind_rendezvous::prelude::ChannelSet::new(vec![1, 2]).expect("valid"),
+                b: blind_rendezvous::prelude::ChannelSet::new(vec![3, 4]).expect("valid"),
+            },
+            cfg: cells[0].cfg,
+        },
+    );
+    for threads in [1usize, 8] {
+        let results = sweep_pair_grid(cells.clone(), &ParallelConfig::with_threads(threads));
+        assert_eq!(results.len(), cells.len());
+        assert_eq!(
+            results[1].as_ref().err(),
+            Some(&SweepError::DisjointSets),
+            "the disjoint cell must fail typed, threads = {threads}"
+        );
+        for (i, r) in results.iter().enumerate() {
+            if i != 1 {
+                assert!(
+                    r.is_ok(),
+                    "cell {i} poisoned by its neighbor at {threads} threads"
+                );
+            }
+        }
+    }
+}
