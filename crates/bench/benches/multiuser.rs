@@ -47,6 +47,7 @@ fn bench_arena_engine(c: &mut Criterion) {
             let cfg = EngineConfig {
                 parallel: ParallelConfig::with_threads(0),
                 mode,
+                faults: None,
             };
             group.bench_with_input(BenchmarkId::new(name, n_agents), &cfg, |b, cfg| {
                 b.iter(|| black_box(sim.run_engine(horizon, cfg)))

@@ -27,6 +27,8 @@
 //! * [`symmetric`] — Section 3.2: the `O(1)`-symmetric wrapper.
 //! * [`verify`] — the measurement engine: exact synchronous/asynchronous
 //!   times-to-rendezvous, worst-case shift sweeps.
+//! * [`fault`] — deterministic fault injection: seeded per-epoch channel
+//!   outage masks and per-agent arrival/departure windows.
 //!
 //! # Quickstart
 //!
@@ -52,6 +54,7 @@
 
 pub mod channel;
 pub mod compiled;
+pub mod fault;
 pub mod general;
 pub mod pair;
 pub mod schedule;
@@ -60,6 +63,7 @@ pub mod verify;
 
 pub use channel::{Channel, ChannelSet, ChannelSetError};
 pub use compiled::CompiledSchedule;
+pub use fault::{FaultPlan, FaultProfile, InPlayWindow};
 pub use general::GeneralSchedule;
 pub use pair::PairFamily;
 pub use schedule::Schedule;

@@ -39,6 +39,7 @@ use crate::algo::DynSchedule;
 use crate::pool::{self, ParallelConfig};
 use rdv_core::channel::ChannelSet;
 use rdv_core::compiled::PreparedSchedule;
+use rdv_core::fault::{FaultPlan, InPlayWindow};
 use rdv_core::schedule::Schedule;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
@@ -130,6 +131,14 @@ pub struct EngineConfig {
     /// Pair-resolution mode (kept overridable for tests and benches; the
     /// default adapts per block).
     pub mode: ResolveMode,
+    /// Optional deterministic fault plan — per-epoch channel outage masks
+    /// and per-agent arrival/departure windows. `None` (the default) runs
+    /// the fault-free paper model; a quiet plan (both rates zero) is
+    /// observationally identical to `None`. Faults mask *presence*, not
+    /// the schedule clock: an agent's schedule still runs on local time
+    /// since its `wake`, but slots outside its in-play window, and slots
+    /// whose channel is blacked out, become the no-meet sentinel.
+    pub faults: Option<FaultPlan>,
 }
 
 /// A map from agent pairs `(i, j)`, `i < j`, to first-meeting slots,
@@ -189,6 +198,29 @@ impl MeetingMap {
     }
 }
 
+/// Why a pair with overlapping channel sets failed to meet — the
+/// deterministic cause tag on every missed-pair record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MissCause {
+    /// Both agents were still in play when the horizon ran out: a longer
+    /// run could have met them.
+    HorizonExhausted,
+    /// The pair's joint in-play window closed before the horizon — at
+    /// least one agent departed (fault-plan churn) without meeting, so no
+    /// horizon extension would help.
+    Departed,
+}
+
+/// A pair that failed to meet, tagged with why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MissedPair {
+    /// The pair `(i, j)`, `i < j`.
+    pub pair: (usize, usize),
+    /// Why they never met. Fault-free runs always report
+    /// [`MissCause::HorizonExhausted`].
+    pub cause: MissCause,
+}
+
 /// First-meeting results of a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeetingReport {
@@ -196,8 +228,8 @@ pub struct MeetingReport {
     /// horizon: the absolute slot of the first meeting.
     pub first_meeting: MeetingMap,
     /// Pairs with overlapping sets that failed to meet within the
-    /// horizon, sorted.
-    pub missed: Vec<(usize, usize)>,
+    /// horizon, sorted by pair, each tagged with its cause.
+    pub missed: Vec<MissedPair>,
     /// The horizon used.
     pub horizon: u64,
 }
@@ -213,6 +245,16 @@ impl MeetingReport {
     /// Whether every overlapping pair met.
     pub fn all_met(&self) -> bool {
         self.missed.is_empty()
+    }
+
+    /// The missed pairs themselves, cause-agnostic, in sorted order.
+    pub fn missed_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.missed.iter().map(|m| m.pair)
+    }
+
+    /// How many missed pairs carry `cause`.
+    pub fn missed_with_cause(&self, cause: MissCause) -> usize {
+        self.missed.iter().filter(|m| m.cause == cause).count()
     }
 }
 
@@ -359,8 +401,33 @@ impl Simulation {
             &EngineConfig {
                 parallel: *cfg,
                 mode: ResolveMode::Auto,
+                faults: None,
             },
         )
+    }
+
+    /// Tags a missed pair with its deterministic cause: `Departed` when
+    /// the pair's joint in-play window under `plan` closed before the
+    /// horizon (no extension would meet them), `HorizonExhausted`
+    /// otherwise. A pure function of `(plan, pair, horizon)`, shared by
+    /// the arena engine and the per-pair reference so their reports stay
+    /// bit-identical.
+    fn missed_pair(i: usize, j: usize, horizon: u64, plan: Option<&FaultPlan>) -> MissedPair {
+        let cause = match plan {
+            None => MissCause::HorizonExhausted,
+            Some(p) => {
+                let close = p.agent_window(i).depart.min(p.agent_window(j).depart);
+                if close < horizon {
+                    MissCause::Departed
+                } else {
+                    MissCause::HorizonExhausted
+                }
+            }
+        };
+        MissedPair {
+            pair: (i, j),
+            cause,
+        }
     }
 
     /// The shared-arena engine (see the module docs for the design).
@@ -372,14 +439,26 @@ impl Simulation {
     /// so the report is identical regardless of `cfg`.
     pub fn run_engine(&self, horizon: u64, cfg: &EngineConfig) -> MeetingReport {
         let n = self.agents.len();
+        // Quiet plans (both rates zero) take the unfaulted fast path so a
+        // no-op plan is observationally identical to no plan.
+        let plan = cfg.faults.filter(|p| !p.is_quiet());
         let mut pending = self.overlapping_pairs();
         if pending.is_empty() || horizon == 0 {
             return MeetingReport {
                 first_meeting: MeetingMap::default(),
-                missed: pending,
+                missed: pending
+                    .into_iter()
+                    .map(|(i, j)| Self::missed_pair(i, j, horizon, plan.as_ref()))
+                    .collect(),
                 horizon,
             };
         }
+        // Per-agent in-play windows of the fault plan, resolved once: the
+        // fill phase masks outside-window slots to the no-meet sentinel
+        // and the resolve phase retires pairs whose joint window closed.
+        let windows: Option<Vec<InPlayWindow>> =
+            plan.map(|p| (0..n).map(|i| p.agent_window(i)).collect());
+        let mut departed: Vec<(usize, usize)> = Vec::new();
         let mut entries: Vec<((usize, usize), u64)> = Vec::new();
         // Pending-pair count per agent: agents at zero (disjoint sets, or
         // all their pairs already met) drop out of the block fill.
@@ -422,6 +501,25 @@ impl Simulation {
 
         let mut block_start = 0u64;
         while block_start < horizon && !pending.is_empty() {
+            // Retire pairs whose joint in-play window has already closed:
+            // no current or later block can meet them, so they leave the
+            // work list (and their agents' load counts) now and are
+            // tagged `Departed` in the final report.
+            if let Some(w) = &windows {
+                pending.retain(|&(i, j)| {
+                    if w[i].depart.min(w[j].depart) <= block_start {
+                        load[i] -= 1;
+                        load[j] -= 1;
+                        departed.push((i, j));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if pending.is_empty() {
+                    break;
+                }
+            }
             let len = (horizon - block_start).min(BLOCK as u64) as usize;
             let block_end = block_start + len as u64;
             let in_play: Vec<u32> = (0..n as u32).filter(|&i| load[i as usize] > 0).collect();
@@ -446,30 +544,47 @@ impl Simulation {
             let agents = &self.agents;
             let (prepared, arena) = (&prepared, &arena);
             let group_of = &group_of;
+            let windows = &windows;
             // Phase 1: each task fills its agents' arena rows for the
             // block. Relaxed stores — the two-phase barrier publishes
-            // them to the resolve tasks.
+            // them to the resolve tasks. Under a fault plan, slots where
+            // the agent is out of play or its channel is blacked out are
+            // masked to the no-meet sentinel.
             let fill = move |_idx: usize, chunk: &[u32]| {
                 let mut scratch = [0u64; BLOCK];
                 for &ai in chunk {
                     let ai = ai as usize;
                     let agent = &agents[ai];
                     let row = &arena[ai * BLOCK..ai * BLOCK + len];
-                    if agent.wake >= block_end {
+                    let window = windows.as_ref().map_or(InPlayWindow::ALWAYS, |w| w[ai]);
+                    if agent.wake >= block_end
+                        || window.arrive >= block_end
+                        || window.depart <= block_start
+                    {
                         for slot in row {
                             slot.store(0, Ordering::Relaxed);
                         }
                         continue;
                     }
-                    let awake_from = agent.wake.max(block_start);
+                    let awake_from = agent.wake.max(block_start).max(window.arrive);
                     let lead = (awake_from - block_start) as usize;
                     prepared[group_of[ai]]
                         .fill_channels(awake_from - agent.wake, &mut scratch[lead..len]);
                     for slot in &row[..lead] {
                         slot.store(0, Ordering::Relaxed);
                     }
-                    for (slot, &c) in row[lead..].iter().zip(&scratch[lead..len]) {
-                        slot.store(c, Ordering::Relaxed);
+                    if let Some(p) = plan {
+                        for (x, (slot, &c)) in
+                            row[lead..].iter().zip(&scratch[lead..len]).enumerate()
+                        {
+                            let t = awake_from + x as u64;
+                            let masked = t >= window.depart || !p.channel_available(c, t);
+                            slot.store(if masked { 0 } else { c }, Ordering::Relaxed);
+                        }
+                    } else {
+                        for (slot, &c) in row[lead..].iter().zip(&scratch[lead..len]) {
+                            slot.store(c, Ordering::Relaxed);
+                        }
                     }
                 }
             };
@@ -557,10 +672,14 @@ impl Simulation {
             }
             block_start = block_end;
         }
+        pending.extend(departed);
         pending.sort_unstable();
         MeetingReport {
             first_meeting: MeetingMap::from_entries(entries),
-            missed: pending,
+            missed: pending
+                .into_iter()
+                .map(|(i, j)| Self::missed_pair(i, j, horizon, plan.as_ref()))
+                .collect(),
             horizon,
         }
     }
@@ -571,6 +690,24 @@ impl Simulation {
     /// pair — `O(pairs)` fills per block, which is exactly the redundancy
     /// the arena engine eliminates. Produces the identical report.
     pub fn run_per_pair_reference(&self, horizon: u64, cfg: &ParallelConfig) -> MeetingReport {
+        self.per_pair_reference_impl(horizon, cfg, None)
+    }
+
+    /// [`Self::run_per_pair_reference`] under a full engine config,
+    /// honoring `cfg.faults` — the independent oracle the faulted arena
+    /// engine is tested bit-identical against. Resolution mode is
+    /// irrelevant here (every pair is an independent two-agent scan).
+    pub fn run_per_pair_reference_with(&self, horizon: u64, cfg: &EngineConfig) -> MeetingReport {
+        let plan = cfg.faults.filter(|p| !p.is_quiet());
+        self.per_pair_reference_impl(horizon, &cfg.parallel, plan.as_ref())
+    }
+
+    fn per_pair_reference_impl(
+        &self,
+        horizon: u64,
+        cfg: &ParallelConfig,
+        plan: Option<&FaultPlan>,
+    ) -> MeetingReport {
         let pending = self.overlapping_pairs();
         let threads = cfg.effective_threads(pending.len());
         let tasks: Vec<&[(usize, usize)]> = pending
@@ -579,7 +716,7 @@ impl Simulation {
         let meetings: Vec<Vec<Option<u64>>> = pool::run_indexed(tasks, cfg, |_idx, chunk| {
             chunk
                 .iter()
-                .map(|&(i, j)| self.pair_first_meeting(i, j, horizon))
+                .map(|&(i, j)| self.pair_first_meeting(i, j, horizon, plan))
                 .collect()
         });
         let mut entries = Vec::new();
@@ -593,29 +730,46 @@ impl Simulation {
         missed.sort_unstable();
         MeetingReport {
             first_meeting: MeetingMap::from_entries(entries),
-            missed,
+            missed: missed
+                .into_iter()
+                .map(|(i, j)| Self::missed_pair(i, j, horizon, plan))
+                .collect(),
             horizon,
         }
     }
 
-    /// First absolute slot at which agents `i` and `j` are both awake and
-    /// on the same channel — the unit of parallelism of
-    /// [`Self::run_per_pair_reference`].
-    fn pair_first_meeting(&self, i: usize, j: usize, horizon: u64) -> Option<u64> {
+    /// First absolute slot at which agents `i` and `j` are both awake,
+    /// both in play, and on the same *available* channel — the unit of
+    /// parallelism of [`Self::run_per_pair_reference`]. The scan is
+    /// clamped to the pair's joint in-play window, which is exactly what
+    /// the arena engine's per-agent masking plus pair retirement compute.
+    fn pair_first_meeting(
+        &self,
+        i: usize,
+        j: usize,
+        horizon: u64,
+        plan: Option<&FaultPlan>,
+    ) -> Option<u64> {
         let (ai, aj) = (&self.agents[i], &self.agents[j]);
-        let start = ai.wake.max(aj.wake);
-        if start >= horizon {
+        let (wi, wj) = match plan {
+            Some(p) => (p.agent_window(i), p.agent_window(j)),
+            None => (InPlayWindow::ALWAYS, InPlayWindow::ALWAYS),
+        };
+        let start = ai.wake.max(aj.wake).max(wi.arrive).max(wj.arrive);
+        let end = horizon.min(wi.depart).min(wj.depart);
+        if start >= end {
             return None;
         }
         let mut bufi = [0u64; BLOCK];
         let mut bufj = [0u64; BLOCK];
         let mut t = start;
-        while t < horizon {
-            let len = (horizon - t).min(BLOCK as u64) as usize;
+        while t < end {
+            let len = (end - t).min(BLOCK as u64) as usize;
             ai.schedule.fill_channels(t - ai.wake, &mut bufi[..len]);
             aj.schedule.fill_channels(t - aj.wake, &mut bufj[..len]);
             for x in 0..len {
-                if bufi[x] == bufj[x] {
+                let c = bufi[x];
+                if c == bufj[x] && plan.is_none_or(|p| p.channel_available(c, t + x as u64)) {
                     return Some(t + x as u64);
                 }
             }
@@ -907,6 +1061,7 @@ mod tests {
                 let cfg = EngineConfig {
                     parallel: ParallelConfig::with_threads(threads),
                     mode,
+                    faults: None,
                 };
                 assert_eq!(
                     baseline,
@@ -1002,6 +1157,7 @@ mod tests {
                 let cfg = EngineConfig {
                     parallel: ParallelConfig::with_threads(threads),
                     mode,
+                    faults: None,
                 };
                 assert_eq!(
                     keyed.run_engine(horizon, &cfg),
@@ -1068,9 +1224,124 @@ mod tests {
         // With a 1-slot horizon the pair may or may not have met; report
         // must be internally consistent either way.
         assert_eq!(report.all_met(), report.first_meeting.contains(0, 1));
-        // A zero horizon reports every pair missed.
+        // A zero horizon reports every pair missed — fault-free runs
+        // always tag misses as horizon exhaustion.
         let empty = sim.run(0);
         assert!(empty.first_meeting.is_empty());
-        assert_eq!(empty.missed, vec![(0, 1)]);
+        assert_eq!(
+            empty.missed,
+            vec![MissedPair {
+                pair: (0, 1),
+                cause: MissCause::HorizonExhausted,
+            }]
+        );
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_observationally_no_plan() {
+        let sets: [&[u64]; 4] = [&[1, 2, 9], &[2, 5], &[5, 9, 11], &[1, 11]];
+        let agents = staggered_population(&[Algorithm::Ours], &sets, 12, 200);
+        let sim = Simulation::new(agents);
+        let clean = sim.run(3_000);
+        let quiet = sim.run_engine(
+            3_000,
+            &EngineConfig {
+                faults: Some(FaultPlan::new(99, 64, 0, 0, 3_000)),
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(clean, quiet);
+    }
+
+    #[test]
+    fn outage_masks_delay_or_deny_meetings_identically_everywhere() {
+        // Heavy outages must never *create* meetings (a faulted meeting
+        // slot is also a clean meeting slot on an available channel), and
+        // every (mode × thread count) plus the per-pair reference must
+        // agree bit-for-bit on the faulted report.
+        let sets: [&[u64]; 5] = [&[1, 2, 9], &[2, 5], &[5, 9, 11], &[1, 11], &[2, 9, 11]];
+        let agents = staggered_population(&[Algorithm::Ours, Algorithm::Crseq], &sets, 12, 113);
+        let sim = Simulation::new(agents);
+        let horizon = 3_333u64;
+        let plan = FaultPlan::new(7, 48, 300, 0, horizon);
+        let clean = sim.run(horizon);
+        let base_cfg = EngineConfig {
+            parallel: ParallelConfig::with_threads(1),
+            mode: ResolveMode::Auto,
+            faults: Some(plan),
+        };
+        let faulted = sim.run_engine(horizon, &base_cfg);
+        for (pair, t) in faulted.first_meeting.iter() {
+            assert!(
+                plan.channel_available(
+                    sim.agents()[pair.0]
+                        .schedule
+                        .channel_at(t - sim.agents()[pair.0].wake)
+                        .into(),
+                    t
+                ),
+                "pair {pair:?} met on a blacked-out channel at {t}"
+            );
+            let clean_t = clean.first_meeting.get(pair.0, pair.1).unwrap();
+            assert!(t >= clean_t, "faults made pair {pair:?} meet earlier");
+        }
+        for mode in [
+            ResolveMode::Auto,
+            ResolveMode::PairMajor,
+            ResolveMode::BucketScan,
+        ] {
+            for threads in [1usize, 2, 8] {
+                let cfg = EngineConfig {
+                    parallel: ParallelConfig::with_threads(threads),
+                    mode,
+                    faults: Some(plan),
+                };
+                assert_eq!(
+                    faulted,
+                    sim.run_engine(horizon, &cfg),
+                    "faulted report diverged: mode = {mode:?}, threads = {threads}"
+                );
+                assert_eq!(
+                    faulted,
+                    sim.run_per_pair_reference_with(horizon, &cfg),
+                    "per-pair faulted reference diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn churn_retires_departed_pairs_with_the_departed_cause() {
+        // Full churn: every agent gets a bounded window. Pairs whose
+        // joint window closes before the horizon and never met must be
+        // tagged Departed; the arena engine and the per-pair reference
+        // must agree on both the tags and the meetings.
+        let sets: [&[u64]; 6] = [&[1, 2], &[2, 3], &[3, 4], &[4, 5, 1], &[1, 3, 5], &[2, 5]];
+        let agents = staggered_population(&[Algorithm::Ours], &sets, 6, 29);
+        let sim = Simulation::new(agents);
+        let horizon = 2_048u64;
+        let plan = FaultPlan::new(1234, 64, 0, 1000, horizon);
+        let cfg = EngineConfig {
+            parallel: ParallelConfig::with_threads(2),
+            mode: ResolveMode::Auto,
+            faults: Some(plan),
+        };
+        let report = sim.run_engine(horizon, &cfg);
+        assert_eq!(report, sim.run_per_pair_reference_with(horizon, &cfg));
+        for m in &report.missed {
+            let (i, j) = m.pair;
+            let close = plan.agent_window(i).depart.min(plan.agent_window(j).depart);
+            let expected = if close < horizon {
+                MissCause::Departed
+            } else {
+                MissCause::HorizonExhausted
+            };
+            assert_eq!(m.cause, expected, "pair {:?}", m.pair);
+        }
+        // The meetings that do happen land inside both windows.
+        for ((i, j), t) in report.first_meeting.iter() {
+            assert!(plan.agent_window(i).contains(t), "agent {i} not in play");
+            assert!(plan.agent_window(j).contains(t), "agent {j} not in play");
+        }
     }
 }

@@ -35,8 +35,11 @@ pub mod sweep;
 pub mod workload;
 
 pub use algo::Algorithm;
-pub use engine::{EngineConfig, MeetingMap, MeetingReport, ResolveMode, Simulation};
-pub use pool::{ParallelConfig, TreePath};
+pub use engine::{
+    EngineConfig, MeetingMap, MeetingReport, MissCause, MissedPair, ResolveMode, Simulation,
+};
+pub use pool::{CancelToken, ParallelConfig, TaskPanic, TreePath};
+pub use rdv_core::fault::{FaultPlan, FaultProfile, InPlayWindow};
 pub use sweep::{
     sweep_lower_bound, sweep_lower_grid, sweep_pair_grid, sweep_pair_ttr, LowerBoundSweep,
     LowerCell, LowerSweepConfig, PairSweep, SweepCell, SweepConfig, SweepError,

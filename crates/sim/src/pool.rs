@@ -627,6 +627,207 @@ where
     results
 }
 
+// ---------------------------------------------------------------------
+// Orchestrator hardening: panic quarantine, deterministic bounded retry,
+// and cooperative cancellation — the fault-tolerant layer grid pipelines
+// run on so one poisoned cell degrades the artifact instead of killing
+// the whole submission.
+// ---------------------------------------------------------------------
+
+/// A quarantined task panic: the deterministic payload message of a task
+/// that panicked inside [`quarantine`] instead of propagating through the
+/// pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload, when it was a string (the only payloads this
+    /// workspace produces); `"opaque panic payload"` otherwise. Callers
+    /// recording quarantined failures in artifacts rely on panic messages
+    /// being deterministic.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panic: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Runs `f`, converting a panic into a typed [`TaskPanic`] instead of
+/// unwinding. This is the quarantine primitive: wrapping every task
+/// closure of a [`run_indexed`]/[`run_tree`] submission in it means no
+/// task ever panics *as seen by the pool*, so the pending-count and
+/// barrier machinery complete normally and the poisoned cell surfaces as
+/// an `Err` in its result slot rather than killing its grid neighbors.
+pub fn quarantine<R>(f: impl FnOnce() -> R) -> Result<R, TaskPanic> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "opaque panic payload".to_string()
+        };
+        TaskPanic { message }
+    })
+}
+
+/// [`run_indexed`] with per-task panic quarantine: a panicking task
+/// yields `Err(TaskPanic)` in its slot and every other task completes.
+/// Results stay in task order.
+pub fn run_indexed_quarantined<T, R, F>(
+    tasks: Vec<T>,
+    cfg: &ParallelConfig,
+    f: F,
+) -> Vec<Result<R, TaskPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_indexed(tasks, cfg, |i, t| quarantine(|| f(i, t)))
+}
+
+/// One parent's quarantined results from [`run_tree_quarantined`]: the
+/// expansion outcome and each child's outcome, in path order.
+pub type QuarantinedParent<PR, R> = (Result<PR, TaskPanic>, Vec<Result<R, TaskPanic>>);
+
+/// [`run_tree`] with panic quarantine on both levels: a panicking
+/// expansion quarantines its parent (which then contributes no children),
+/// a panicking child quarantines only its own slot, and in every case the
+/// rest of the tree runs to completion and merges in path order.
+pub fn run_tree_quarantined<P, PR, C, R, E, F>(
+    parents: Vec<P>,
+    cfg: &ParallelConfig,
+    expand: E,
+    child: F,
+) -> Vec<QuarantinedParent<PR, R>>
+where
+    P: Send,
+    PR: Send,
+    C: Send,
+    R: Send,
+    E: Fn(usize, P) -> (PR, Vec<C>) + Sync,
+    F: Fn(TreePath, C) -> R + Sync,
+{
+    run_tree(
+        parents,
+        cfg,
+        |pi, p| match quarantine(|| expand(pi, p)) {
+            Ok((pr, kids)) => (Ok(pr), kids),
+            Err(e) => (Err(e), Vec::new()),
+        },
+        |path, c| quarantine(|| child(path, c)),
+    )
+}
+
+/// Deterministic bounded retry with exponential **backoff-in-attempts**:
+/// calls `attempt(round, budget)` with a budget that doubles every round
+/// (`base_budget`, `2·base_budget`, `4·base_budget`, …) for up to
+/// `rounds` rounds, returning the first `Ok` or — once every round has
+/// failed — the last error together with the number of rounds used.
+///
+/// Backoff here widens the *work budget*, never a wall-clock sleep:
+/// transient failures in this workspace (e.g. a scenario sampler
+/// exhausting its draw budget) are functions of how hard the task tried,
+/// not of when it ran, so retried work stays a pure function of
+/// `(attempt, round)` and grid artifacts stay byte-identical. Note a zero
+/// `base_budget` stays zero through every doubling — the deterministic
+/// exhaustion seam the degradation tests sabotage cells with.
+pub fn retry_with_backoff<R, E>(
+    rounds: u32,
+    base_budget: u32,
+    mut attempt: impl FnMut(u32, u32) -> Result<R, E>,
+) -> Result<R, (E, u32)> {
+    let rounds = rounds.max(1);
+    let mut budget = base_budget;
+    let mut last = None;
+    for round in 0..rounds {
+        match attempt(round, budget) {
+            Ok(r) => return Ok(r),
+            Err(e) => last = Some(e),
+        }
+        budget = budget.saturating_mul(2);
+    }
+    Err((last.expect("at least one round ran"), rounds))
+}
+
+/// A cooperative cancellation token with an optional **soft deadline**:
+/// long-running tasks poll [`CancelToken::is_cancelled`] at natural
+/// checkpoints (between retry rounds, between grid cells) and wind down
+/// early instead of being killed. Once the deadline elapses — or
+/// [`CancelToken::cancel`] is called — the token latches and every clone
+/// observes it.
+///
+/// Deadlines are wall-clock and therefore **non-deterministic**: tokens
+/// with deadlines belong in interactive and nightly guard rails, never on
+/// the path that computes a committed artifact (the degradation pipeline
+/// only consults tokens it creates without a deadline, which trip purely
+/// by explicit `cancel`).
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: std::sync::Arc<CancelInner>,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<std::time::Instant>,
+}
+
+impl CancelToken {
+    /// A token that only trips by explicit [`Self::cancel`] — safe for
+    /// deterministic paths.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: std::sync::Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that additionally trips once `soft_deadline` has elapsed
+    /// from now. The deadline is *soft*: nothing is interrupted, tasks
+    /// observe it at their next poll.
+    pub fn with_deadline(soft_deadline: std::time::Duration) -> Self {
+        CancelToken {
+            inner: std::sync::Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(std::time::Instant::now() + soft_deadline),
+            }),
+        }
+    }
+
+    /// Trips the token for every clone, idempotently.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has tripped (explicitly, or because the soft
+    /// deadline elapsed — which latches, so a tripped token never
+    /// un-trips).
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if std::time::Instant::now() >= deadline {
+                self.inner.cancelled.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

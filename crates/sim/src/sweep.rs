@@ -92,12 +92,15 @@ pub enum SweepError {
         /// What the generator requires.
         reason: &'static str,
     },
-    /// A randomized scenario sampler exceeded its retry budget — the
-    /// typed replacement for the unbounded resampling loops that could
-    /// spin forever on near-infeasible parameters.
+    /// A randomized scenario sampler exceeded its retry budget in every
+    /// backoff round — the typed replacement for the unbounded resampling
+    /// loops that could spin forever on near-infeasible parameters.
     SamplingExhausted {
-        /// Draws attempted before giving up.
+        /// Total draws attempted across all rounds before giving up.
         attempts: u32,
+        /// Exponential backoff-in-attempts rounds used (the per-round
+        /// draw budget doubles each round).
+        rounds: u32,
     },
 }
 
@@ -120,8 +123,11 @@ impl fmt::Display for SweepError {
             SweepError::InvalidScenario { reason } => {
                 write!(f, "invalid scenario parameters: {reason}")
             }
-            SweepError::SamplingExhausted { attempts } => {
-                write!(f, "scenario sampler gave up after {attempts} draws")
+            SweepError::SamplingExhausted { attempts, rounds } => {
+                write!(
+                    f,
+                    "scenario sampler gave up after {attempts} draws across {rounds} backoff rounds"
+                )
             }
         }
     }

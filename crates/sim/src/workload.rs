@@ -121,12 +121,21 @@ pub fn coalition_pair(
     coalition_pair_with_budget(n, k, band, seed, None)
 }
 
-/// [`coalition_pair`] with an explicit rejection-sampler attempt budget —
-/// the test seam that lets the (otherwise astronomically unlikely)
-/// [`SweepError::SamplingExhausted`] path be exercised deterministically.
-/// `None` uses the production budget of 64 + 64 draws per needed private
-/// channel; the budget only matters in the sparse sampling regime (the
-/// dense regime shuffles exactly and never retries).
+/// Backoff rounds of the sparse-regime rejection sampler in
+/// [`coalition_pair_with_budget`]: the per-round draw budget doubles each
+/// round, and [`SweepError::SamplingExhausted`] is only reported once
+/// every round has failed.
+pub const SAMPLER_BACKOFF_ROUNDS: u32 = 4;
+
+/// [`coalition_pair`] with an explicit rejection-sampler base attempt
+/// budget — the test seam that lets the (otherwise astronomically
+/// unlikely) [`SweepError::SamplingExhausted`] path be exercised
+/// deterministically. `None` uses the production base budget of 64 + 64
+/// draws per needed private channel; the budget only matters in the
+/// sparse sampling regime (the dense regime shuffles exactly and never
+/// retries), where it doubles over [`SAMPLER_BACKOFF_ROUNDS`] exponential
+/// backoff rounds — note `Some(0)` stays zero through every doubling, so
+/// it exhausts deterministically.
 #[doc(hidden)]
 pub fn coalition_pair_with_budget(
     n: u64,
@@ -160,36 +169,58 @@ pub fn coalition_pair_with_budget(
         let pb = u[private_per_side..2 * private_per_side].to_vec();
         (pa, pb)
     } else {
-        // Sparse regime (the intended huge-universe case): rejection
-        // sampling with set membership, against a single `taken` set so
-        // the two sides stay disjoint. Each draw succeeds with
-        // probability > 1/2, so the budget below fails with probability
-        // < 2^-64 per needed channel.
-        let budget = budget_override.unwrap_or(64 + 64 * (2 * private_per_side) as u32);
-        let mut taken: HashSet<u64> = HashSet::new();
-        let mut attempts = 0u32;
-        let sample_pool = |rng: &mut StdRng,
-                           taken: &mut HashSet<u64>,
-                           attempts: &mut u32|
-         -> Result<Vec<u64>, SweepError> {
-            let mut out = Vec::with_capacity(private_per_side);
-            while out.len() < private_per_side {
-                if *attempts >= budget {
-                    return Err(SweepError::SamplingExhausted {
-                        attempts: *attempts,
-                    });
-                }
-                *attempts += 1;
-                let c = rng.gen_range(1..=n);
-                if !(mid..=band_hi).contains(&c) && taken.insert(c) {
-                    out.push(c);
-                }
+        // Sparse regime (the intended huge-universe case): bounded
+        // rejection sampling under the orchestrator's exponential
+        // backoff-in-attempts policy ([`pool::retry_with_backoff`]).
+        // Each round draws from a round-derived RNG stream against a
+        // fresh `taken` set with a per-round budget that doubles
+        // (base, 2·base, 4·base, …), so retries explore new draws and
+        // the whole procedure stays a pure function of `(seed, round)`.
+        // Each draw succeeds with probability > 1/2, so even the base
+        // budget fails with probability < 2^-64 per needed channel; the
+        // backoff rounds exist for the grid pipelines' transient-retry
+        // contract, and a zero override stays zero through every
+        // doubling — the deterministic exhaustion seam the degradation
+        // tests sabotage cells with.
+        let base = budget_override.unwrap_or(64 + 64 * (2 * private_per_side) as u32);
+        let mut total_attempts = 0u32;
+        let drawn =
+            crate::pool::retry_with_backoff(SAMPLER_BACKOFF_ROUNDS, base, |round, budget| {
+                let mut rng = StdRng::seed_from_u64(crate::pool::stream_seed(seed, round as u64));
+                let mut taken: HashSet<u64> = HashSet::new();
+                let mut attempts = 0u32;
+                let sample_pool = |rng: &mut StdRng,
+                                   taken: &mut HashSet<u64>,
+                                   attempts: &mut u32|
+                 -> Option<Vec<u64>> {
+                    let mut out = Vec::with_capacity(private_per_side);
+                    while out.len() < private_per_side {
+                        if *attempts >= budget {
+                            return None;
+                        }
+                        *attempts += 1;
+                        let c = rng.gen_range(1..=n);
+                        if !(mid..=band_hi).contains(&c) && taken.insert(c) {
+                            out.push(c);
+                        }
+                    }
+                    Some(out)
+                };
+                let pools = sample_pool(&mut rng, &mut taken, &mut attempts).and_then(|pa| {
+                    sample_pool(&mut rng, &mut taken, &mut attempts).map(|pb| (pa, pb))
+                });
+                total_attempts += attempts;
+                pools.ok_or(())
+            });
+        match drawn {
+            Ok(pools) => pools,
+            Err(((), rounds)) => {
+                return Err(SweepError::SamplingExhausted {
+                    attempts: total_attempts,
+                    rounds,
+                });
             }
-            Ok(out)
-        };
-        let pa = sample_pool(&mut rng, &mut taken, &mut attempts)?;
-        let pb = sample_pool(&mut rng, &mut taken, &mut attempts)?;
-        (pa, pb)
+        }
     };
     let shared = (0..band as u64).map(|i| mid + i);
     let a = ChannelSet::new(shared.clone().chain(pa)).map_err(SweepError::InvalidSet)?;

@@ -211,7 +211,10 @@ fn pair_slots(sim: &Simulation, report: &MeetingReport) -> u64 {
     let missed: u64 = report
         .missed
         .iter()
-        .map(|&(i, j)| report.horizon - start(i, j))
+        .map(|m| {
+            let (i, j) = m.pair;
+            report.horizon - start(i, j)
+        })
         .sum();
     met + missed
 }
@@ -233,6 +236,7 @@ fn measure_multiuser(
         let forced = EngineConfig {
             parallel: ParallelConfig::default(),
             mode,
+            faults: None,
         };
         assert_eq!(
             report,

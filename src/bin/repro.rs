@@ -8,6 +8,13 @@
 //!   table1         E0  all eight algorithms × sync/async × sym/asym,
 //!                      measured against the Theorems 3–5 bounds; writes
 //!                      REPRO_table1.{json,md}, exits non-zero on a violation
+//!   table1 --faults P  the fault-injection variant: the arena engine under
+//!                      the named fault profile ('light' or 'heavy'),
+//!                      sweeping outage × churn axes on the quarantined
+//!                      orchestrator; writes REPRO_table1_faults.{json,md}.
+//!                      With --sabotage, two cells are deliberately failed
+//!                      (one panic, one sampler exhaustion) to exercise the
+//!                      graceful-degradation contract end to end
 //!   lower              the Section 4 lower bounds on the same grid: the
 //!                      covering/density sandwich invariant per cell, exact
 //!                      R_s(n,2) optima, pigeonhole certificates, density
@@ -35,12 +42,21 @@
 //!   --quick        smaller grids, same shapes
 //!   --smoke        minutes-scale CI tier: smallest grids that still cross
 //!                  every algorithm × timing × scenario cell
+//!
+//! exit codes:
+//!   0  success — every cell completed and every gated bound held
+//!   1  a gated bound violation (the CI contract for committed artifacts)
+//!   2  usage error (unknown experiment, bad arguments)
+//!   3  degraded partial artifact — some grid cells failed (panic or
+//!      sampling exhaustion); the artifact's failed_cells section lists
+//!      them. Takes precedence over 1.
 //! ```
 
 use blind_rendezvous::pipelines;
 use blind_rendezvous::prelude::*;
 use blind_rendezvous::report::{self, PipelineOutput, Tier};
 use rdv_core::channel::ChannelSet;
+use rdv_core::fault::FaultProfile;
 use rdv_lower::{density, exact, pigeonhole};
 use rdv_sim::stats::growth_exponent;
 use rdv_sim::sweep::{sweep_pair_ttr, SweepConfig};
@@ -63,8 +79,32 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
+    let faults = args.iter().position(|a| a == "--faults").map(|i| {
+        match args.get(i + 1).map(String::as_str) {
+            Some(name) if !name.starts_with("--") => {
+                FaultProfile::named(name).unwrap_or_else(|| {
+                    eprintln!("unknown fault profile {name:?}; known: light, heavy");
+                    std::process::exit(2);
+                })
+            }
+            _ => {
+                eprintln!("usage: repro table1 --faults <light|heavy> [--sabotage]");
+                std::process::exit(2);
+            }
+        }
+    });
+    let sabotage = if args.iter().any(|a| a == "--sabotage") {
+        // Fixed cell indices so the degraded artifact — and the CI
+        // exit-code check against it — is deterministic.
+        pipelines::faults::Sabotage {
+            poison_cell: Some(1),
+            exhaust_cell: Some(2),
+        }
+    } else {
+        pipelines::faults::Sabotage::NONE
+    };
     // Positional arguments: everything that is neither a flag nor the
-    // value of `--out-dir`.
+    // value of a value-taking flag (`--out-dir`, `--faults`).
     let mut positional: Vec<&str> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -72,7 +112,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out-dir" {
+        if a == "--out-dir" || a == "--faults" {
             skip_next = true;
             continue;
         }
@@ -83,7 +123,14 @@ fn main() {
     let cmd = positional.first().copied().unwrap_or("all");
     let ctx = Ctx { tier, out_dir };
     match cmd {
-        "table1" => run_pipeline(&ctx, pipelines::table1::run(tier, 0), "REPRO_table1"),
+        "table1" => match faults {
+            Some(profile) => run_pipeline(
+                &ctx,
+                pipelines::faults::run(tier, 0, profile, sabotage),
+                "REPRO_table1_faults",
+            ),
+            None => run_pipeline(&ctx, pipelines::table1::run(tier, 0), "REPRO_table1"),
+        },
         "lower" => run_pipeline(&ctx, pipelines::lower::run(tier, 0), "REPRO_lower"),
         "sdp" => run_pipeline(&ctx, pipelines::sdp::run(tier, 0), "REPRO_sdp"),
         "trend" => {
@@ -136,21 +183,34 @@ impl Ctx {
     }
 }
 
-/// Writes one pipeline's artifact pair and enforces its gate: any proven
-/// bound violation exits non-zero — the CI contract.
+/// Writes one pipeline's artifact pair and enforces its gates: failed grid
+/// cells exit 3 (degraded partial artifact — it takes precedence so CI
+/// never mistakes an incomplete grid for a bound verdict), any proven
+/// bound violation exits 1 — the CI contract.
 fn run_pipeline(ctx: &Ctx, out: PipelineOutput, stem: &str) {
     let (json_path, md_path) = report::write_artifacts(&ctx.out_dir, stem, &out);
     println!();
     println!(
-        "wrote {} and {} ({} gated violations)",
+        "wrote {} and {} ({} gated violations, {} failed cells)",
         json_path.display(),
         md_path.display(),
-        out.violations.len()
+        out.violations.len(),
+        out.failed_cells.len()
     );
-    if !out.violations.is_empty() {
-        for v in &out.violations {
-            eprintln!("BOUND VIOLATION: {v}");
+    for v in &out.violations {
+        eprintln!("BOUND VIOLATION: {v}");
+    }
+    if !out.failed_cells.is_empty() {
+        for cell in &out.failed_cells {
+            eprintln!(
+                "FAILED CELL: {} ({}; retries={}, seed={:#018x})",
+                cell.id, cell.cause, cell.retries, cell.seed
+            );
         }
+        eprintln!("partial artifact: {} cells failed", out.failed_cells.len());
+        std::process::exit(3);
+    }
+    if !out.violations.is_empty() {
         std::process::exit(1);
     }
 }

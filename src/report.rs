@@ -63,6 +63,25 @@ pub fn headroom(measured: f64, bound: f64) -> f64 {
     bound / measured.max(1.0)
 }
 
+/// One grid cell that failed and was quarantined instead of aborting the
+/// run — the unit of the graceful-degradation contract. Every field is
+/// deterministic (panic messages in this workspace are fixed strings,
+/// retry counts are attempt-based, seeds are derived), so a degraded
+/// artifact is still byte-identical across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedCell {
+    /// The canonical row id of the cell (see [`cell_id`]).
+    pub id: String,
+    /// Why it failed: a quarantined panic message or a typed sweep error
+    /// rendered via `Display`.
+    pub cause: String,
+    /// Retry rounds spent before giving up (0 when the failure was not
+    /// retryable, e.g. a panic).
+    pub retries: u32,
+    /// The cell's derived seed, for offline reproduction.
+    pub seed: u64,
+}
+
 /// A finished pipeline run, ready to write and gate.
 pub struct PipelineOutput {
     /// The pipeline name (`"table1"`, `"lower"`, `"sdp"`).
@@ -73,6 +92,10 @@ pub struct PipelineOutput {
     pub markdown: String,
     /// Violated proven bounds — non-empty fails the run.
     pub violations: Vec<String>,
+    /// Cells that failed and were quarantined — non-empty marks the
+    /// artifact *partial* and makes `repro` exit with the distinct
+    /// degraded code (3) instead of aborting mid-grid.
+    pub failed_cells: Vec<FailedCell>,
 }
 
 /// Incremental builder for one pipeline's artifact pair.
@@ -81,6 +104,8 @@ pub struct Artifact {
     tier: Tier,
     top: BTreeMap<String, Value>,
     violations: Vec<String>,
+    failed: Vec<FailedCell>,
+    track_failed_cells: bool,
 }
 
 impl Artifact {
@@ -91,7 +116,54 @@ impl Artifact {
             tier,
             top: BTreeMap::new(),
             violations: Vec::new(),
+            failed: Vec::new(),
+            track_failed_cells: false,
         }
+    }
+
+    /// Opts the artifact into the graceful-degradation schema: the JSON
+    /// gains a `failed_cells` section (present even when empty, so the
+    /// schema is stable across clean and degraded runs). Pipelines that
+    /// never quarantine cells — whose committed artifacts are diffed
+    /// bit-for-bit by CI — simply never call this and keep their exact
+    /// historical layout.
+    pub fn track_failed_cells(&mut self) {
+        self.track_failed_cells = true;
+    }
+
+    /// Records a quarantined cell failure (implies
+    /// [`Self::track_failed_cells`]).
+    pub fn failed_cell(&mut self, cell: FailedCell) {
+        self.track_failed_cells = true;
+        self.failed.push(cell);
+    }
+
+    /// The quarantined failures recorded so far, row-id-sorted.
+    pub fn failed_cells(&mut self) -> &[FailedCell] {
+        self.failed.sort_by(|a, b| a.id.cmp(&b.id));
+        &self.failed
+    }
+
+    /// The standard markdown section for quarantined failures, or a
+    /// one-line all-clear. Row-id-sorted, like the JSON section.
+    pub fn failed_cells_markdown(&mut self) -> String {
+        self.failed.sort_by(|a, b| a.id.cmp(&b.id));
+        if self.failed.is_empty() {
+            return "## Failed cells\n\nNone — every grid cell completed.\n".to_string();
+        }
+        let mut md = String::from(
+            "## Failed cells\n\nThe grid degraded gracefully: the cells below were\n\
+             quarantined (cause recorded, neighbors unaffected) and this artifact is\n\
+             **partial** — `repro` exits with the degraded code 3.\n\n\
+             | row id | cause | retries | seed |\n|---|---|---:|---:|\n",
+        );
+        for c in &self.failed {
+            md.push_str(&format!(
+                "| `{}` | {} | {} | {:#018x} |\n",
+                c.id, c.cause, c.retries, c.seed
+            ));
+        }
+        md
     }
 
     /// The tier the artifact is being produced at.
@@ -146,8 +218,10 @@ impl Artifact {
         )
     }
 
-    /// Seals the artifact: merges provenance, tier, and violations into
-    /// the JSON tree and pairs it with the rendered markdown.
+    /// Seals the artifact: merges provenance, tier, violations — and, for
+    /// degradation-aware pipelines, the row-id-sorted `failed_cells`
+    /// section — into the JSON tree and pairs it with the rendered
+    /// markdown.
     pub fn finish(mut self, markdown: String) -> PipelineOutput {
         self.top
             .insert("pipeline".to_string(), Value::from(self.pipeline));
@@ -163,11 +237,36 @@ impl Artifact {
                     .collect(),
             ),
         );
+        if self.track_failed_cells {
+            self.failed.sort_by(|a, b| a.id.cmp(&b.id));
+            self.top.insert(
+                "failed_cells".to_string(),
+                Value::Array(
+                    self.failed
+                        .iter()
+                        .map(|c| {
+                            let mut obj = BTreeMap::new();
+                            obj.insert("id".to_string(), Value::from(c.id.as_str()));
+                            obj.insert("cause".to_string(), Value::from(c.cause.as_str()));
+                            obj.insert("retries".to_string(), Value::from(c.retries as u64));
+                            // Seeds are full 64-bit stream values; hex
+                            // strings dodge the shim's f64 number domain.
+                            obj.insert(
+                                "seed".to_string(),
+                                Value::from(format!("{:#018x}", c.seed)),
+                            );
+                            Value::Object(obj)
+                        })
+                        .collect(),
+                ),
+            );
+        }
         PipelineOutput {
             pipeline: self.pipeline,
             json: Value::Object(self.top),
             markdown,
             violations: self.violations,
+            failed_cells: self.failed,
         }
     }
 }

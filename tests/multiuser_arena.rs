@@ -6,7 +6,7 @@
 use blind_rendezvous::prelude::*;
 use proptest::prelude::*;
 use rdv_sim::algo::AgentCtx;
-use rdv_sim::engine::{Agent, EngineConfig, ResolveMode, Simulation};
+use rdv_sim::engine::{Agent, EngineConfig, MissCause, MissedPair, ResolveMode, Simulation};
 use rdv_sim::ParallelConfig;
 
 /// A random population description: per agent, a channel set (within a
@@ -55,7 +55,7 @@ type MetEntries = Vec<((usize, usize), u64)>;
 
 /// The naive slot-by-slot reference: first co-channel slot of every
 /// overlapping pair, scanned through `channel_at` one slot at a time.
-fn reference(agents: &[Agent], horizon: u64) -> (MetEntries, Vec<(usize, usize)>) {
+fn reference(agents: &[Agent], horizon: u64) -> (MetEntries, Vec<MissedPair>) {
     let mut met = Vec::new();
     let mut missed = Vec::new();
     for i in 0..agents.len() {
@@ -70,7 +70,11 @@ fn reference(agents: &[Agent], horizon: u64) -> (MetEntries, Vec<(usize, usize)>
             });
             match first {
                 Some(t) => met.push(((i, j), t)),
-                None => missed.push((i, j)),
+                // Fault-free runs can only miss by running out of horizon.
+                None => missed.push(MissedPair {
+                    pair: (i, j),
+                    cause: MissCause::HorizonExhausted,
+                }),
             }
         }
     }
@@ -93,6 +97,7 @@ proptest! {
                 let cfg = EngineConfig {
                     parallel: ParallelConfig::with_threads(threads),
                     mode,
+                    faults: None,
                 };
                 let report = sim.run_engine(horizon, &cfg);
                 prop_assert_eq!(

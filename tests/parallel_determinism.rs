@@ -101,6 +101,7 @@ fn multi_agent_simulation_is_thread_count_invariant() {
                 &EngineConfig {
                     parallel: ParallelConfig::with_threads(threads),
                     mode,
+                    faults: None,
                 },
             );
             assert_eq!(single, report, "{mode:?} diverged at {threads} threads");

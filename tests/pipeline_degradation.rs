@@ -1,0 +1,110 @@
+//! Graceful-degradation contract of the fault-injection pipeline: a grid
+//! with one deliberately panicking cell and one deliberately
+//! sampling-exhausted cell must still complete, emit a partial artifact
+//! whose `failed_cells` section lists exactly those two cells sorted by
+//! row id (with cause, retry count, and seed), keep every other row — and
+//! stay byte-identical across worker thread counts.
+
+use blind_rendezvous::pipelines::faults::{self, Sabotage};
+use blind_rendezvous::report::Tier;
+use rdv_core::fault::FaultProfile;
+
+/// The sabotage configuration `repro --sabotage` and CI use: cell 1
+/// panics, cell 2 exhausts its sampler.
+const SABOTAGE: Sabotage = Sabotage {
+    poison_cell: Some(1),
+    exhaust_cell: Some(2),
+};
+
+#[test]
+fn sabotaged_grid_degrades_to_a_partial_artifact() {
+    let profile = FaultProfile::named("light").expect("committed profile");
+    let out = faults::run(Tier::Smoke, 1, profile, SABOTAGE);
+
+    // Exactly the two sabotaged cells failed, sorted by row id. At smoke
+    // tier the grid opens with the `ours` rows over the axes
+    // (0,0), (o,0), (0,c), (o,c) at n=16, so cells 1 and 2 are the o=50
+    // and c=150 rows — and "o=0" sorts before "o=50".
+    assert_eq!(out.failed_cells.len(), 2, "{:?}", out.failed_cells);
+    let exhausted = &out.failed_cells[0];
+    let poisoned = &out.failed_cells[1];
+    assert_eq!(exhausted.id, "ours (Thm 3)/async/faults[o=0,c=150]/n=16");
+    assert_eq!(poisoned.id, "ours (Thm 3)/async/faults[o=50,c=0]/n=16");
+    assert!(
+        exhausted.cause.contains("gave up after 0 draws"),
+        "{}",
+        exhausted.cause
+    );
+    assert_eq!(exhausted.retries, faults::CELL_RETRY_ROUNDS);
+    assert_eq!(
+        poisoned.cause,
+        format!("panic: deliberately poisoned cell: {}", poisoned.id)
+    );
+    assert_eq!(poisoned.retries, 0);
+
+    // The JSON twin carries the same section, already sorted.
+    let failed = out.json.get("failed_cells").expect("tracked section");
+    let ids: Vec<&str> = failed
+        .as_array()
+        .expect("array")
+        .iter()
+        .map(|c| c.get("id").and_then(|v| v.as_str()).expect("id"))
+        .collect();
+    assert_eq!(
+        ids,
+        vec![exhausted.id.as_str(), poisoned.id.as_str()],
+        "JSON failed_cells must be row-id-sorted"
+    );
+
+    // Every healthy cell still produced its row: 3 algorithms × 4 fault
+    // axes × 1 population size at smoke tier, minus the two sabotaged.
+    let rows = out
+        .json
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .expect("rows");
+    assert_eq!(rows.len(), 12 - 2);
+    assert!(
+        !out.markdown.contains("None — every grid cell completed."),
+        "the markdown must flag the partial artifact"
+    );
+    assert!(out.markdown.contains("faults[o=50,c=0]"));
+
+    // Bound violations and failed cells are independent channels.
+    assert!(out.violations.is_empty());
+}
+
+#[test]
+fn sabotaged_artifact_is_byte_identical_across_thread_counts() {
+    let profile = FaultProfile::named("light").expect("committed profile");
+    let one = faults::run(Tier::Smoke, 1, profile, SABOTAGE);
+    let eight = faults::run(Tier::Smoke, 8, profile, SABOTAGE);
+    assert_eq!(
+        serde_json::to_string_pretty(&one.json),
+        serde_json::to_string_pretty(&eight.json),
+        "degraded JSON artifact diverged across thread counts"
+    );
+    assert_eq!(
+        one.markdown, eight.markdown,
+        "degraded markdown artifact diverged across thread counts"
+    );
+    assert_eq!(one.failed_cells, eight.failed_cells);
+}
+
+#[test]
+fn clean_grid_has_no_failed_cells_and_keeps_every_row() {
+    let profile = FaultProfile::named("light").expect("committed profile");
+    let out = faults::run(Tier::Smoke, 1, profile, Sabotage::NONE);
+    assert!(out.failed_cells.is_empty());
+    let rows = out
+        .json
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .expect("rows");
+    assert_eq!(rows.len(), 12);
+    assert!(out.markdown.contains("None — every grid cell completed."));
+    // The tracked section is present (and empty) even on clean runs, so
+    // consumers can rely on the schema.
+    let failed = out.json.get("failed_cells").and_then(|f| f.as_array());
+    assert_eq!(failed.map(|f| f.len()), Some(0));
+}

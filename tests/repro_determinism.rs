@@ -88,6 +88,39 @@ fn table1_pipeline_is_thread_count_invariant_and_matches_committed() {
 }
 
 #[test]
+fn faults_pipeline_is_thread_count_invariant_and_matches_committed() {
+    // The fault-injection grid runs on the quarantined orchestrator and
+    // its fault plans are pure functions of seeded SplitMix64 streams, so
+    // the degraded-robustness artifact carries the same byte-for-byte
+    // contract as the fault-free pipelines.
+    let profile = rdv_core::fault::FaultProfile::named("light").expect("committed profile");
+    let sabotage = pipelines::faults::Sabotage::NONE;
+    let single = pipelines::faults::run(Tier::Smoke, 1, profile, sabotage);
+    let multi = pipelines::faults::run(Tier::Smoke, 8, profile, sabotage);
+    assert!(
+        single.failed_cells.is_empty(),
+        "unsabotaged smoke faults pipeline lost cells: {:?}",
+        single.failed_cells
+    );
+    assert_eq!(
+        pretty(&single),
+        pretty(&multi),
+        "faults artifact diverged between 1 and 8 worker threads"
+    );
+    assert_eq!(single.markdown, multi.markdown);
+    assert_eq!(
+        pretty(&single),
+        committed("REPRO_table1_faults.json"),
+        "regenerate with: cargo run --release --bin repro -- --smoke table1 --faults light"
+    );
+    assert_eq!(
+        single.markdown,
+        committed("REPRO_table1_faults.md"),
+        "regenerate with: cargo run --release --bin repro -- --smoke table1 --faults light"
+    );
+}
+
+#[test]
 fn trend_reports_movement_between_generations() {
     // A pipeline diffed against itself is all-flat; against a perturbed
     // clone it reports exactly the touched row.

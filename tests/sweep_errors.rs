@@ -30,12 +30,19 @@ fn coalition_parameter_errors_are_invalid_scenario() {
 #[test]
 fn exhausted_sampler_is_a_typed_error_not_a_hang() {
     // Sparse regime (4 · private-per-side < usable spectrum) with a zero
-    // attempt budget: the bounded sampler must give up immediately with
-    // the typed error — the regression fence against the former unbounded
-    // resample loop.
+    // attempt budget: the budget stays zero through every backoff
+    // doubling, so the bounded sampler must give up after its fixed round
+    // count with the typed error — the regression fence against the
+    // former unbounded resample loop.
     let err = workload::coalition_pair_with_budget(1 << 16, 5, 2, 11, Some(0))
         .expect_err("a zero budget cannot sample anything");
-    assert_eq!(err, SweepError::SamplingExhausted { attempts: 0 });
+    assert_eq!(
+        err,
+        SweepError::SamplingExhausted {
+            attempts: 0,
+            rounds: workload::SAMPLER_BACKOFF_ROUNDS,
+        }
+    );
     assert!(err.to_string().contains("gave up after 0 draws"), "{err}");
     // A generous budget on the same parameters succeeds — the error above
     // came from the budget, not from infeasibility.
@@ -92,8 +99,11 @@ fn every_variant_displays_and_is_a_std_error() {
             "invalid scenario parameters: test",
         ),
         (
-            SweepError::SamplingExhausted { attempts: 7 },
-            "gave up after 7 draws",
+            SweepError::SamplingExhausted {
+                attempts: 7,
+                rounds: 2,
+            },
+            "gave up after 7 draws across 2 backoff rounds",
         ),
     ];
     for (err, needle) in variants {
