@@ -23,7 +23,38 @@
 //!   sdp                the appendix one-round SDP relaxation on the graph
 //!                      families vs exact optima; writes REPRO_sdp.{json,md}
 //!   trend OLD NEW      diffs two artifact JSONs (any pipeline), matching
-//!                      rows by id and reporting bound-headroom movement
+//!                      rows by id and reporting bound-headroom movement.
+//!                      A missing artifact file prints a skip note and
+//!                      exits 0; a present-but-schema-mismatched artifact
+//!                      exits 2 — so CI loops can skip absent generations
+//!                      without swallowing real schema errors
+//!
+//! perf-trend history (the append-only run ledger, see the
+//! `blind_rendezvous::history` module docs):
+//!   --history FILE     with any pipeline run: append the run (commit,
+//!                      host fingerprint incl. host_threads, tier, UTC
+//!                      timestamp, headroom rows by row id) as one JSONL
+//!                      line to FILE after the artifacts are written.
+//!                      `bench_report --history` is the bench twin
+//!   trend --history FILE [--window N] [--max-regression-pct P]
+//!                      [--same-host]
+//!                      N-generation analysis over the ledger: every
+//!                      series (pipeline headroom row / bench throughput
+//!                      point) is matched across generations, the latest
+//!                      value compared against the median of the
+//!                      preceding N-generation window (default 5), and
+//!                      classified regressed / improved / flat at the
+//!                      bench gate's tolerance semantics (default 30%).
+//!                      Exits 1 on any regression — the CI gate
+//!   dashboard [--history FILE] [--out FILE]
+//!                      renders the ledger (default HISTORY.jsonl) into
+//!                      committed markdown sparkline tables (default
+//!                      DASHBOARD.md); byte-identical given the same
+//!                      ledger, so CI diffs it against the committed copy
+//!   history-import ARTIFACT.json...  --history FILE
+//!                      backfills ledger entries from committed
+//!                      REPRO_*.json / BENCH_*.json snapshots (the seed
+//!                      generation); bench entries record the CLI tier
 //!
 //! console experiments:
 //!   table1-asym    E1  Table 1, asymmetric column (TTR vs n, fitted exponents)
@@ -52,6 +83,7 @@
 //!      them. Takes precedence over 1.
 //! ```
 
+use blind_rendezvous::history::{self, HostFingerprint, TrendOptions};
 use blind_rendezvous::pipelines;
 use blind_rendezvous::prelude::*;
 use blind_rendezvous::report::{self, PipelineOutput, Tier};
@@ -103,8 +135,30 @@ fn main() {
     } else {
         pipelines::faults::Sabotage::NONE
     };
+    // A value-taking flag's value, with a hard usage error when the value
+    // is missing or flag-shaped.
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => {
+                    eprintln!("{name} requires a value");
+                    std::process::exit(2);
+                }
+            })
+    };
+    let history_path = flag_value("--history").map(PathBuf::from);
     // Positional arguments: everything that is neither a flag nor the
-    // value of a value-taking flag (`--out-dir`, `--faults`).
+    // value of a value-taking flag.
+    const VALUE_FLAGS: [&str; 6] = [
+        "--out-dir",
+        "--faults",
+        "--history",
+        "--window",
+        "--max-regression-pct",
+        "--out",
+    ];
     let mut positional: Vec<&str> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -112,7 +166,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out-dir" || a == "--faults" {
+        if VALUE_FLAGS.contains(&a.as_str()) {
             skip_next = true;
             continue;
         }
@@ -121,24 +175,77 @@ fn main() {
         }
     }
     let cmd = positional.first().copied().unwrap_or("all");
-    let ctx = Ctx { tier, out_dir };
+    let ctx = Ctx {
+        tier,
+        out_dir,
+        history: history_path.clone(),
+    };
     match cmd {
         "table1" => match faults {
             Some(profile) => run_pipeline(
                 &ctx,
                 pipelines::faults::run(tier, 0, profile, sabotage),
-                "REPRO_table1_faults",
+                pipelines::faults::STEM,
             ),
-            None => run_pipeline(&ctx, pipelines::table1::run(tier, 0), "REPRO_table1"),
+            None => run_pipeline(
+                &ctx,
+                pipelines::table1::run(tier, 0),
+                pipelines::table1::STEM,
+            ),
         },
-        "lower" => run_pipeline(&ctx, pipelines::lower::run(tier, 0), "REPRO_lower"),
-        "sdp" => run_pipeline(&ctx, pipelines::sdp::run(tier, 0), "REPRO_sdp"),
-        "trend" => {
-            let (Some(old), Some(new)) = (positional.get(1), positional.get(2)) else {
-                eprintln!("usage: repro trend OLD.json NEW.json");
+        "lower" => run_pipeline(&ctx, pipelines::lower::run(tier, 0), pipelines::lower::STEM),
+        "sdp" => run_pipeline(&ctx, pipelines::sdp::run(tier, 0), pipelines::sdp::STEM),
+        "trend" => match &history_path {
+            Some(ledger) => {
+                let opts = TrendOptions {
+                    window: flag_value("--window")
+                        .map(|v| {
+                            v.parse().unwrap_or_else(|_| {
+                                eprintln!("--window takes a positive integer");
+                                std::process::exit(2);
+                            })
+                        })
+                        .unwrap_or(5),
+                    max_regression_pct: flag_value("--max-regression-pct")
+                        .map(|v| {
+                            v.parse().unwrap_or_else(|_| {
+                                eprintln!("--max-regression-pct takes a number");
+                                std::process::exit(2);
+                            })
+                        })
+                        .unwrap_or(30.0),
+                    same_host: args.iter().any(|a| a == "--same-host"),
+                };
+                trend_history(ledger, &opts);
+            }
+            None => {
+                let (Some(old), Some(new)) = (positional.get(1), positional.get(2)) else {
+                    eprintln!(
+                        "usage: repro trend OLD.json NEW.json\n       repro trend --history \
+                         LEDGER.jsonl [--window N] [--max-regression-pct P] [--same-host]"
+                    );
+                    std::process::exit(2);
+                };
+                trend(old, new);
+            }
+        },
+        "dashboard" => {
+            let ledger = history_path.unwrap_or_else(|| PathBuf::from("HISTORY.jsonl"));
+            let out = flag_value("--out")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("DASHBOARD.md"));
+            dashboard(&ledger, &out);
+        }
+        "history-import" => {
+            let Some(ledger) = &history_path else {
+                eprintln!("usage: repro history-import ARTIFACT.json... --history LEDGER.jsonl");
                 std::process::exit(2);
             };
-            trend(old, new);
+            if positional.len() < 2 {
+                eprintln!("history-import: no artifact files given");
+                std::process::exit(2);
+            }
+            history_import(ledger, &positional[1..], tier);
         }
         "table1-asym" => table1_asym(&ctx),
         "table1-sym" => table1_sym(&ctx),
@@ -150,9 +257,13 @@ fn main() {
         "lb-async" => lb_async(&ctx),
         "beacon" => beacon(&ctx),
         "all" => {
-            run_pipeline(&ctx, pipelines::table1::run(tier, 0), "REPRO_table1");
-            run_pipeline(&ctx, pipelines::lower::run(tier, 0), "REPRO_lower");
-            run_pipeline(&ctx, pipelines::sdp::run(tier, 0), "REPRO_sdp");
+            run_pipeline(
+                &ctx,
+                pipelines::table1::run(tier, 0),
+                pipelines::table1::STEM,
+            );
+            run_pipeline(&ctx, pipelines::lower::run(tier, 0), pipelines::lower::STEM);
+            run_pipeline(&ctx, pipelines::sdp::run(tier, 0), pipelines::sdp::STEM);
             table1_asym(&ctx);
             table1_sym(&ctx);
             thm3_scaling(&ctx);
@@ -173,6 +284,8 @@ fn main() {
 struct Ctx {
     tier: Tier,
     out_dir: PathBuf,
+    /// The run ledger pipeline runs append to (`--history`).
+    history: Option<PathBuf>,
 }
 
 impl Ctx {
@@ -197,6 +310,27 @@ fn run_pipeline(ctx: &Ctx, out: PipelineOutput, stem: &str) {
         out.violations.len(),
         out.failed_cells.len()
     );
+    // Append the generation to the run ledger before any gate exits —
+    // degraded and violating runs are part of the trajectory too.
+    if let Some(ledger) = &ctx.history {
+        let (commit, utc) = history::writer_context();
+        let entry =
+            history::entry_from_artifact(&out.json, &commit, &HostFingerprint::detect(), &utc)
+                .unwrap_or_else(|e| {
+                    eprintln!("history: cannot build a ledger entry from {stem}: {e}");
+                    std::process::exit(2);
+                });
+        history::append(ledger, &entry).unwrap_or_else(|e| {
+            eprintln!("history: appending to {}: {e}", ledger.display());
+            std::process::exit(2);
+        });
+        println!(
+            "appended {} generation ({} rows) to {}",
+            entry.source,
+            entry.rows.len(),
+            ledger.display()
+        );
+    }
     for v in &out.violations {
         eprintln!("BOUND VIOLATION: {v}");
     }
@@ -217,14 +351,24 @@ fn run_pipeline(ctx: &Ctx, out: PipelineOutput, stem: &str) {
 
 /// `repro trend OLD NEW`: loads two artifact JSONs and reports how much
 /// bound headroom moved per matched row id.
+///
+/// A *missing* artifact file is a skip (exit 0, with a note): scheduled
+/// trend loops legitimately compare against generations that may not
+/// exist yet. A file that exists but fails to parse, or parses without
+/// trend rows ([`report::TrendError`]), is a real schema problem and
+/// exits 2 — CI must not swallow those.
 fn trend(old_path: &str, new_path: &str) {
     let load = |path: &str| {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                println!("trend skipped: artifact {path} missing");
+                std::process::exit(0);
+            }
             eprintln!("reading {path}: {e}");
             std::process::exit(2);
         });
         serde_json::from_str(&text).unwrap_or_else(|e| {
-            eprintln!("parsing {path}: {e}");
+            eprintln!("trend: schema mismatch parsing {path}: {e}");
             std::process::exit(2);
         })
     };
@@ -236,6 +380,108 @@ fn trend(old_path: &str, new_path: &str) {
             eprintln!("trend: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// Reads a ledger, reporting (but surviving) corrupt lines; only I/O
+/// failure is fatal.
+fn read_ledger(path: &std::path::Path) -> blind_rendezvous::history::Ledger {
+    let ledger = history::read(path).unwrap_or_else(|e| {
+        eprintln!("reading {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    for s in &ledger.skipped {
+        eprintln!(
+            "history: skipped corrupt ledger line {} of {}: {}",
+            s.line,
+            path.display(),
+            s.error
+        );
+    }
+    ledger
+}
+
+/// `repro trend --history LEDGER`: the N-generation analysis; exits 1 on
+/// any regressed series — the CI gate.
+fn trend_history(ledger_path: &std::path::Path, opts: &TrendOptions) {
+    let ledger = read_ledger(ledger_path);
+    if ledger.entries.is_empty() {
+        eprintln!(
+            "trend: ledger {} has no readable generations",
+            ledger_path.display()
+        );
+        std::process::exit(2);
+    }
+    let analysis = history::analyze(&ledger.entries, opts);
+    print!("{}", analysis.render(opts));
+    let regressed = analysis.regressed();
+    if !regressed.is_empty() {
+        for s in &regressed {
+            eprintln!(
+                "PERF REGRESSION: {} at {} vs window median {} ({:+.1}%, tolerance -{}%)",
+                s.key,
+                history::format_metric(s.latest),
+                history::format_metric(s.baseline.unwrap_or(f64::NAN)),
+                s.delta_pct.unwrap_or(f64::NAN),
+                opts.max_regression_pct
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `repro dashboard`: renders the ledger into the committed markdown
+/// dashboard — a pure function of the ledger file.
+fn dashboard(ledger_path: &std::path::Path, out_path: &std::path::Path) {
+    let ledger = read_ledger(ledger_path);
+    let md = history::render_dashboard(&ledger);
+    if let Some(dir) = out_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    }
+    std::fs::write(out_path, &md).unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
+    println!(
+        "wrote {} ({} generations, {} skipped lines)",
+        out_path.display(),
+        ledger.entries.len(),
+        ledger.skipped.len()
+    );
+}
+
+/// `repro history-import`: backfills ledger entries from committed
+/// artifact / bench snapshots. Pipeline artifacts carry their own
+/// provenance; bench reports record the CLI `tier`.
+fn history_import(ledger_path: &std::path::Path, files: &[&str], tier: Tier) {
+    let (commit, utc) = history::writer_context();
+    let host = HostFingerprint::detect();
+    for path in files {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("reading {path}: {e}");
+            std::process::exit(2);
+        });
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("parsing {path}: {e}");
+            std::process::exit(2);
+        });
+        let entry = if doc.get("pipeline").is_some() {
+            history::entry_from_artifact(&doc, &commit, &host, &utc)
+        } else {
+            history::entry_from_bench(&doc, tier.name(), &commit, &host, &utc)
+        }
+        .unwrap_or_else(|e| {
+            eprintln!("history-import: {path}: {e}");
+            std::process::exit(2);
+        });
+        history::append(ledger_path, &entry).unwrap_or_else(|e| {
+            eprintln!("history: appending to {}: {e}", ledger_path.display());
+            std::process::exit(2);
+        });
+        println!(
+            "imported {} ({} {} rows) into {}",
+            path,
+            entry.rows.len(),
+            entry.kind.name(),
+            ledger_path.display()
+        );
     }
 }
 

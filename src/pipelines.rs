@@ -157,6 +157,10 @@ pub fn table1_cells(tier: Tier, threads: usize) -> Vec<SweepCell> {
 pub mod table1 {
     use super::*;
 
+    /// Artifact file stem: the `repro` driver writes `REPRO_table1.{json,md}`
+    /// and the history ledger records runs under it.
+    pub const STEM: &str = "REPRO_table1";
+
     /// One pipeline row as JSON: the sweep's own fields plus the cell
     /// context and the schema's `id`/`measured` trend keys.
     #[allow(clippy::too_many_arguments)]
@@ -319,6 +323,9 @@ pub mod table1 {
 pub mod lower {
     use super::*;
     use rdv_lower::{density, exact, pigeonhole, ramsey_bridge};
+
+    /// Artifact file stem (see [`super::table1::STEM`]).
+    pub const STEM: &str = "REPRO_lower";
 
     /// Exhaustive-shift cap and sampled-shift count per tier.
     fn shift_dimensions(tier: Tier) -> (u64, u64) {
@@ -766,6 +773,9 @@ pub mod sdp {
     use rdv_sdp::{exact_max_in_pairs, random_orientation_value, solve, OrientGraph, SdpConfig};
     use rdv_sim::{pool, ParallelConfig};
 
+    /// Artifact file stem (see [`super::table1::STEM`]).
+    pub const STEM: &str = "REPRO_sdp";
+
     /// The appendix's approximation guarantee: `0.878 / 2`.
     pub const GUARANTEE: f64 = 0.439;
 
@@ -949,6 +959,9 @@ pub mod faults {
     use crate::report::FailedCell;
     use rdv_sim::engine::{EngineConfig, MissCause, ResolveMode, Simulation};
     use rdv_sim::{pool, FaultPlan, FaultProfile};
+
+    /// Artifact file stem (see [`super::table1::STEM`]).
+    pub const STEM: &str = "REPRO_table1_faults";
 
     /// The deterministic base seed every cell seed is streamed from.
     pub const PIPELINE_SEED: u64 = 0xFA01_7ED5;

@@ -331,8 +331,10 @@ pub struct TrendReport {
 /// Collects every `(id, measured, bound)` row of an artifact: any object
 /// inside a top-level array carrying a string `"id"` plus numeric
 /// `"measured"` and `"bound"` members — the schema every pipeline's
-/// gridded rows follow.
-fn collect_rows(artifact: &Value) -> BTreeMap<String, (f64, f64)> {
+/// gridded rows follow. Shared by [`trend`] and the history ledger
+/// (`crate::history::entry_from_artifact`), so a row diffable between two
+/// generations is exactly a row the trajectory tracks.
+pub fn collect_rows(artifact: &Value) -> BTreeMap<String, (f64, f64)> {
     let mut rows = BTreeMap::new();
     let Value::Object(top) = artifact else {
         return rows;
@@ -354,14 +356,42 @@ fn collect_rows(artifact: &Value) -> BTreeMap<String, (f64, f64)> {
     rows
 }
 
+/// Why two artifact generations could not be diffed — typed so callers
+/// (the nightly trend loop in particular) can tell a schema mismatch,
+/// which should fail the run, from a merely missing artifact, which the
+/// driver detects before calling in and skips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrendError {
+    /// An artifact parsed as JSON but carries no rows with
+    /// `id`/`measured`/`bound` — the schema every gridded pipeline row
+    /// follows. `generation` names which side (`"old"` / `"new"`).
+    NoRows {
+        /// Which artifact lacked rows: `"old"` or `"new"`.
+        generation: &'static str,
+    },
+}
+
+impl std::fmt::Display for TrendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrendError::NoRows { generation } => write!(
+                f,
+                "schema mismatch: the {generation} artifact has no rows with id/measured/bound"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrendError {}
+
 /// Diffs two artifact generations (of the same pipeline, typically the
 /// committed copy vs a fresh run), matching gridded rows by id and
 /// reporting how the bound headroom moved — the `repro trend` machinery.
 ///
 /// # Errors
 ///
-/// Returns a description when either artifact carries no matchable rows.
-pub fn trend(old: &Value, new: &Value) -> Result<TrendReport, String> {
+/// [`TrendError::NoRows`] when either artifact carries no matchable rows.
+pub fn trend(old: &Value, new: &Value) -> Result<TrendReport, TrendError> {
     let pipeline_of = |v: &Value| {
         v.get("pipeline")
             .and_then(Value::as_str)
@@ -371,10 +401,10 @@ pub fn trend(old: &Value, new: &Value) -> Result<TrendReport, String> {
     let old_rows = collect_rows(old);
     let new_rows = collect_rows(new);
     if old_rows.is_empty() {
-        return Err("the old artifact has no rows with id/measured/bound".to_string());
+        return Err(TrendError::NoRows { generation: "old" });
     }
     if new_rows.is_empty() {
-        return Err("the new artifact has no rows with id/measured/bound".to_string());
+        return Err(TrendError::NoRows { generation: "new" });
     }
     let mut rows = Vec::new();
     let mut only_old = Vec::new();
@@ -530,11 +560,20 @@ mod tests {
     }
 
     #[test]
-    fn trend_rejects_rowless_artifacts() {
+    fn trend_rejects_rowless_artifacts_with_typed_errors() {
         let empty = artifact("lower", vec![]);
         let full = artifact("lower", vec![row("x", 1, 2)]);
-        assert!(trend(&empty, &full).is_err());
-        assert!(trend(&full, &empty).is_err());
+        assert_eq!(
+            trend(&empty, &full),
+            Err(TrendError::NoRows { generation: "old" })
+        );
+        assert_eq!(
+            trend(&full, &empty),
+            Err(TrendError::NoRows { generation: "new" })
+        );
+        assert!(TrendError::NoRows { generation: "new" }
+            .to_string()
+            .contains("schema mismatch"));
     }
 
     #[test]

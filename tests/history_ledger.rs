@@ -1,0 +1,430 @@
+//! The perf-trend ledger contract, end to end: append/parse round-trips
+//! (unit + property), corrupt-line isolation, N-generation regression
+//! detection through the real `repro` binary (exit codes included), the
+//! dashboard's byte-determinism, the committed `HISTORY.jsonl` →
+//! `DASHBOARD.md` regeneration pin, and the typed missing-vs-mismatch
+//! split of the two-artifact trend mode.
+
+use blind_rendezvous::history::{
+    self, analyze, EntryKind, HostFingerprint, LedgerEntry, SeriesClass, SeriesPoint, TrendOptions,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A unique scratch path per test (the suite runs tests concurrently).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdv_history_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn host(threads: u64) -> HostFingerprint {
+    HostFingerprint {
+        os: "linux".to_string(),
+        arch: "x86_64".to_string(),
+        threads,
+    }
+}
+
+/// One bench generation with the given `(id, value)` points.
+fn generation(source: &str, points: &[(&str, f64)]) -> LedgerEntry {
+    LedgerEntry {
+        kind: EntryKind::Bench,
+        source: source.to_string(),
+        tier: "smoke".to_string(),
+        commit: "deadbeef".to_string(),
+        host: host(1),
+        utc: "2026-08-08T00:00:00Z".to_string(),
+        rows: points
+            .iter()
+            .map(|(id, v)| SeriesPoint {
+                id: id.to_string(),
+                value: *v,
+                bound: None,
+            })
+            .collect(),
+    }
+}
+
+/// Builds the synthetic 5-generation ledger of the acceptance criterion:
+/// two healthy series plus one (`kernel/n=16`) regressed in the latest
+/// generation, and a pipeline-style headroom series that stays flat.
+fn synthetic_regression_ledger(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    for g in 0..5u32 {
+        let kernel_16 = if g == 4 { 40.0 } else { 100.0 + f64::from(g) };
+        let mut entry = generation(
+            "kernel",
+            &[("n=16", kernel_16), ("n=64", 500.0 + f64::from(g))],
+        );
+        entry.commit = format!("commit{g}");
+        history::append(path, &entry).expect("append");
+        let mut pipeline = LedgerEntry {
+            kind: EntryKind::Pipeline,
+            source: "table1".to_string(),
+            tier: "smoke".to_string(),
+            commit: format!("commit{g}"),
+            host: host(1),
+            utc: format!("2026-08-0{}T00:00:00Z", g + 1),
+            rows: vec![SeriesPoint {
+                id: "ours/async/symmetric/n=8".to_string(),
+                value: 258.0,
+                bound: Some(2368.0),
+            }],
+        };
+        pipeline.rows.push(SeriesPoint {
+            id: "ours/async/asymmetric/n=8".to_string(),
+            value: 644.0,
+            bound: Some(2368.0),
+        });
+        history::append(path, &pipeline).expect("append");
+    }
+}
+
+#[test]
+fn ledger_file_round_trips() {
+    let path = scratch("round_trip.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let a = generation("kernel", &[("n=16", 1.5), ("n=64", 2.25)]);
+    let mut b = generation("multiuser", &[("n_agents=512", 8e9)]);
+    b.host = host(8);
+    b.rows.push(SeriesPoint {
+        id: "bounded".to_string(),
+        value: 100.0,
+        bound: Some(350.0),
+    });
+    history::append(&path, &a).expect("append a");
+    history::append(&path, &b).expect("append b");
+    let ledger = history::read(&path).expect("read");
+    assert_eq!(ledger.entries, vec![a, b]);
+    assert!(ledger.skipped.is_empty());
+}
+
+#[test]
+fn corrupt_lines_are_isolated_not_fatal() {
+    let path = scratch("corrupt.jsonl");
+    let _ = std::fs::remove_file(&path);
+    history::append(&path, &generation("kernel", &[("n=16", 1.0)])).expect("append");
+    // Simulate a torn write plus a wrong-schema line between two good
+    // generations.
+    let mut text = std::fs::read_to_string(&path).expect("read back");
+    text.push_str("{\"kind\":\"bench\",\"trunc\n");
+    text.push_str("{\"kind\":\"martian\"}\n");
+    std::fs::write(&path, text).expect("rewrite");
+    history::append(&path, &generation("kernel", &[("n=16", 2.0)])).expect("append");
+    let ledger = history::read(&path).expect("read");
+    assert_eq!(ledger.entries.len(), 2, "both good generations survive");
+    assert_eq!(
+        ledger
+            .skipped
+            .iter()
+            .map(|s| s.line)
+            .collect::<Vec<usize>>(),
+        vec![2, 3],
+        "corrupt lines reported by line number"
+    );
+    // The analysis still runs over the surviving generations.
+    let trend = analyze(&ledger.entries, &TrendOptions::default());
+    assert_eq!(trend.generations, 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary ledgers round-trip exactly: values are dyadic rationals
+    /// (exactly representable through the f64-only JSON shim), ids and
+    /// hosts vary, bounds are present on some rows.
+    #[test]
+    fn ledger_round_trip_property(
+        shape in proptest::collection::vec(
+            (0u32..1000, 1usize..6, 1u64..16, 0u8..2),
+            1..5,
+        ),
+    ) {
+        let path = scratch(&format!(
+            "prop_{}.jsonl",
+            shape
+                .iter()
+                .map(|(v, r, t, k)| format!("{v}_{r}_{t}_{k}"))
+                .collect::<Vec<_>>()
+                .join("-")
+        ));
+        let _ = std::fs::remove_file(&path);
+        let entries: Vec<LedgerEntry> = shape
+            .iter()
+            .enumerate()
+            .map(|(g, &(v, rows, threads, kind))| LedgerEntry {
+                kind: if kind == 0 { EntryKind::Bench } else { EntryKind::Pipeline },
+                source: format!("suite{}", v % 3),
+                tier: "smoke".to_string(),
+                commit: format!("c{g}"),
+                host: host(threads),
+                utc: history::format_utc(u64::from(v) * 86_401),
+                rows: (0..rows)
+                    .map(|r| SeriesPoint {
+                        id: format!("id={r}"),
+                        value: f64::from(v) + (r as f64) / 16.0,
+                        bound: (kind == 1).then(|| f64::from(v) * 2.0 + 8.0),
+                    })
+                    .collect(),
+            })
+            .collect();
+        for e in &entries {
+            history::append(&path, e).expect("append");
+        }
+        let ledger = history::read(&path).expect("read");
+        prop_assert_eq!(&ledger.entries, &entries);
+        prop_assert!(ledger.skipped.is_empty());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}
+
+#[test]
+fn synthetic_regression_is_detected_in_process() {
+    let path = scratch("synthetic_inproc.jsonl");
+    synthetic_regression_ledger(&path);
+    let ledger = history::read(&path).expect("read");
+    assert_eq!(ledger.entries.len(), 10, "5 bench + 5 pipeline generations");
+    let trend = analyze(&ledger.entries, &TrendOptions::default());
+    let regressed = trend.regressed();
+    assert_eq!(regressed.len(), 1, "exactly the injected series");
+    assert_eq!(regressed[0].key, "kernel/n=16");
+    // Latest 40 vs median-of-window 101: −60.4%.
+    assert!(regressed[0].delta_pct.unwrap() < -55.0);
+    // The headroom series tracks bound/measured and stays flat.
+    let headroom = trend
+        .series
+        .iter()
+        .find(|s| s.key == "table1@smoke/ours/async/symmetric/n=8")
+        .expect("pipeline series present");
+    assert_eq!(headroom.class, SeriesClass::Flat);
+    assert!((headroom.latest - 2368.0 / 258.0).abs() < 1e-12);
+}
+
+#[test]
+fn repro_trend_history_exits_nonzero_and_names_the_regression() {
+    let path = scratch("synthetic_cli.jsonl");
+    synthetic_regression_ledger(&path);
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["trend", "--history"])
+        .arg(&path)
+        .output()
+        .expect("run repro");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "regression must exit 1: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("kernel/n=16"), "table names it: {stdout}");
+    assert!(stdout.contains("REGRESSED"), "classified: {stdout}");
+    assert!(
+        stderr.contains("PERF REGRESSION: kernel/n=16"),
+        "gate line names the offending series: {stderr}"
+    );
+    assert!(stdout.contains("1 regressed"), "summary: {stdout}");
+
+    // A window confined to the post-regression generation is flat — and
+    // the exit goes green, proving the flag reaches the analysis.
+    let healthy = scratch("synthetic_cli_healthy.jsonl");
+    let _ = std::fs::remove_file(&healthy);
+    for v in [100.0, 101.0, 99.0] {
+        history::append(&healthy, &generation("kernel", &[("n=16", v)])).expect("append");
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["trend", "--history"])
+        .arg(&healthy)
+        .args(["--window", "2", "--max-regression-pct", "10"])
+        .output()
+        .expect("run repro");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "healthy ledger must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn repro_dashboard_is_byte_deterministic() {
+    let ledger = scratch("dash.jsonl");
+    synthetic_regression_ledger(&ledger);
+    let render = |out: &PathBuf| {
+        let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["dashboard", "--history"])
+            .arg(&ledger)
+            .arg("--out")
+            .arg(out)
+            .status()
+            .expect("run repro dashboard");
+        assert!(status.success());
+        std::fs::read_to_string(out).expect("dashboard written")
+    };
+    let a = render(&scratch("dash_a.md"));
+    let b = render(&scratch("dash_b.md"));
+    assert_eq!(a, b, "two renders of the same ledger diverged");
+    assert!(a.contains("## Generations"));
+    assert!(a.contains("Pipeline headroom — table1 (smoke tier)"));
+    assert!(a.contains("Bench throughput — kernel"));
+    assert!(
+        a.contains('▁') && a.contains('█'),
+        "sparklines rendered: {a}"
+    );
+    assert!(
+        !a.contains("render clock error"),
+        "timestamps come from ledger lines"
+    );
+}
+
+#[test]
+fn committed_dashboard_regenerates_from_committed_ledger() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let regenerated = scratch("committed_dash.md");
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["dashboard", "--history"])
+        .arg(root.join("HISTORY.jsonl"))
+        .arg("--out")
+        .arg(&regenerated)
+        .status()
+        .expect("run repro dashboard");
+    assert!(status.success());
+    let fresh = std::fs::read_to_string(&regenerated).expect("regenerated dashboard");
+    let committed = std::fs::read_to_string(root.join("DASHBOARD.md")).expect("committed copy");
+    assert_eq!(
+        fresh, committed,
+        "committed DASHBOARD.md is stale — regenerate with: \
+         cargo run --release --bin repro -- dashboard"
+    );
+}
+
+#[test]
+fn two_artifact_trend_distinguishes_missing_from_mismatch() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let committed = root.join("REPRO_table1.json");
+    // Missing artifact: a skip, not a failure (exit 0 with a note).
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("trend")
+        .arg(&committed)
+        .arg(scratch("definitely_absent.json"))
+        .output()
+        .expect("run repro trend");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("trend skipped"),
+        "skip is explicit"
+    );
+    // Present but schema-mismatched artifact: a hard failure (exit 2).
+    let rowless = scratch("rowless.json");
+    std::fs::write(&rowless, "{\"pipeline\": \"table1\", \"rows\": []}\n").expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("trend")
+        .arg(&committed)
+        .arg(&rowless)
+        .output()
+        .expect("run repro trend");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("schema mismatch"),
+        "mismatch is loud"
+    );
+}
+
+#[test]
+fn pipeline_run_appends_a_ledger_generation() {
+    let dir = scratch("pipeline_append");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ledger = dir.join("HISTORY.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--smoke", "sdp", "--out-dir"])
+        .arg(&dir)
+        .arg("--history")
+        .arg(&ledger)
+        .env("RDV_COMMIT", "test-sha")
+        .env("RDV_EPOCH", "1786147200")
+        .output()
+        .expect("run repro sdp");
+    assert!(
+        out.status.success(),
+        "sdp pipeline failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed = history::read(&ledger).expect("ledger written");
+    assert_eq!(parsed.entries.len(), 1);
+    let entry = &parsed.entries[0];
+    assert_eq!(entry.kind, EntryKind::Pipeline);
+    assert_eq!(entry.source, "sdp");
+    assert_eq!(entry.tier, "smoke");
+    assert_eq!(entry.commit, "test-sha");
+    assert_eq!(entry.utc, "2026-08-08T00:00:00Z");
+    assert!(entry.host.threads >= 1);
+    assert!(
+        !entry.rows.is_empty() && entry.rows.iter().all(|r| r.bound.is_some()),
+        "pipeline rows carry bounds"
+    );
+}
+
+#[test]
+fn bench_speedup_gates_skip_loudly_on_single_core_hosts() {
+    let dir = scratch("bench_single_core");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ledger = dir.join("HISTORY.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_report"))
+        .args([
+            "--suite",
+            "kernel",
+            "--smoke",
+            "--min-tree-speedup",
+            "999",
+            "--min-arena-speedup",
+            "999",
+            "--out-dir",
+        ])
+        .arg(&dir)
+        .arg("--history")
+        .arg(&ledger)
+        .env("RDV_COMMIT", "bench-sha")
+        .env("RDV_EPOCH", "1786147260")
+        .output()
+        .expect("run bench_report");
+    // Absurd floors: on a single-core host both gates must be skipped
+    // (with the explicit honesty log line); on multi-core hosts the
+    // gated suites were not measured (--suite kernel), so the floors
+    // have nothing to fail either way.
+    assert!(
+        out.status.success(),
+        "bench_report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let single_core = std::thread::available_parallelism()
+        .map(|v| v.get() == 1)
+        .unwrap_or(true);
+    if single_core {
+        assert!(
+            stdout.contains("skipping --min-tree-speedup gate: host_threads == 1"),
+            "tree gate skip is explicit: {stdout}"
+        );
+        assert!(
+            stdout.contains("skipping --min-arena-speedup gate: host_threads == 1"),
+            "arena gate skip is explicit: {stdout}"
+        );
+    }
+    // The ledger gained the kernel suite generation either way.
+    let parsed = history::read(&ledger).expect("ledger written");
+    assert_eq!(parsed.entries.len(), 1);
+    assert_eq!(parsed.entries[0].source, "worst_async_ttr_exhaustive");
+    assert_eq!(parsed.entries[0].kind, EntryKind::Bench);
+    assert_eq!(parsed.entries[0].commit, "bench-sha");
+    assert_eq!(
+        parsed.entries[0]
+            .rows
+            .iter()
+            .map(|r| r.id.as_str())
+            .collect::<Vec<_>>(),
+        vec!["n=16", "n=64", "n=256"],
+        "gate points keyed by bench id column"
+    );
+}
