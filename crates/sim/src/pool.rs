@@ -646,6 +646,15 @@ pub struct TaskPanic {
     pub message: String,
 }
 
+impl TaskPanic {
+    /// A panic record carrying the given deterministic message.
+    pub fn new(message: impl Into<String>) -> Self {
+        TaskPanic {
+            message: message.into(),
+        }
+    }
+}
+
 impl std::fmt::Display for TaskPanic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "panic: {}", self.message)
@@ -686,7 +695,37 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    run_indexed(tasks, cfg, |i, t| quarantine(|| f(i, t)))
+    run_indexed_quarantined_sink(tasks, cfg, f, |_, _| {})
+}
+
+/// [`run_indexed_quarantined`] with a **completion sink**: `sink(i, &r)`
+/// runs on the worker thread the moment task `i`'s quarantined result is
+/// known — before the pool joins, so a crash mid-grid loses at most the
+/// in-flight tasks. This is the seam checkpointing pipelines journal
+/// completed cells through.
+///
+/// The sink observes completions in scheduling order (non-deterministic
+/// across thread counts); consumers that need determinism key on the task
+/// index, never on arrival order. The sink itself is *not* quarantined —
+/// a sink failure (e.g. an unwritable journal) is fatal to the run, like
+/// an unwritable artifact.
+pub fn run_indexed_quarantined_sink<T, R, F, S>(
+    tasks: Vec<T>,
+    cfg: &ParallelConfig,
+    f: F,
+    sink: S,
+) -> Vec<Result<R, TaskPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    S: Fn(usize, &Result<R, TaskPanic>) + Sync,
+{
+    run_indexed(tasks, cfg, |i, t| {
+        let r = quarantine(|| f(i, t));
+        sink(i, &r);
+        r
+    })
 }
 
 /// One parent's quarantined results from [`run_tree_quarantined`]: the
@@ -711,6 +750,33 @@ where
     E: Fn(usize, P) -> (PR, Vec<C>) + Sync,
     F: Fn(TreePath, C) -> R + Sync,
 {
+    run_tree_quarantined_sink(parents, cfg, expand, child, |_, _| {})
+}
+
+/// [`run_tree_quarantined`] with a **completion sink**: `sink(path, &r)`
+/// runs on the worker thread the moment the child at `path` finishes
+/// (quarantined) — the task-tree twin of
+/// [`run_indexed_quarantined_sink`], and the seam checkpointing pipelines
+/// journal completed tree cells through before the merge.
+///
+/// Like the flat variant, the sink observes completions in scheduling
+/// order and is not quarantined: a sink failure is fatal to the run.
+pub fn run_tree_quarantined_sink<P, PR, C, R, E, F, S>(
+    parents: Vec<P>,
+    cfg: &ParallelConfig,
+    expand: E,
+    child: F,
+    sink: S,
+) -> Vec<QuarantinedParent<PR, R>>
+where
+    P: Send,
+    PR: Send,
+    C: Send,
+    R: Send,
+    E: Fn(usize, P) -> (PR, Vec<C>) + Sync,
+    F: Fn(TreePath, C) -> R + Sync,
+    S: Fn(TreePath, &Result<R, TaskPanic>) + Sync,
+{
     run_tree(
         parents,
         cfg,
@@ -718,7 +784,11 @@ where
             Ok((pr, kids)) => (Ok(pr), kids),
             Err(e) => (Err(e), Vec::new()),
         },
-        |path, c| quarantine(|| child(path, c)),
+        |path, c| {
+            let r = quarantine(|| child(path, c));
+            sink(path, &r);
+            r
+        },
     )
 }
 
@@ -1055,6 +1125,70 @@ mod tests {
         for base in [0u64, 1, 42, u64::MAX] {
             let seeds: HashSet<u64> = (0..4096).map(|i| stream_seed(base, i)).collect();
             assert_eq!(seeds.len(), 4096, "collision under base {base}");
+        }
+    }
+
+    #[test]
+    fn indexed_sink_sees_every_completion_exactly_once() {
+        use std::sync::Mutex;
+        for threads in [1usize, 4] {
+            let seen: Mutex<Vec<(usize, Result<u64, String>)>> = Mutex::new(Vec::new());
+            let out = run_indexed_quarantined_sink(
+                (0..57u64).collect(),
+                &ParallelConfig::with_threads(threads),
+                |i, t| {
+                    if i == 13 {
+                        panic!("cell 13 down");
+                    }
+                    t * 2
+                },
+                |i, r| {
+                    seen.lock()
+                        .unwrap()
+                        .push((i, r.clone().map_err(|e| e.message)));
+                },
+            );
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_by_key(|&(i, _)| i);
+            assert_eq!(seen.len(), 57, "threads = {threads}");
+            for (i, r) in &seen {
+                // The sink observed exactly the result merged into slot i —
+                // including the quarantined panic.
+                assert_eq!(
+                    r.clone().map_err(|m| TaskPanic { message: m }),
+                    out[*i],
+                    "threads = {threads}"
+                );
+            }
+            assert_eq!(out[13], Err(TaskPanic::new("cell 13 down")));
+        }
+    }
+
+    #[test]
+    fn tree_sink_sees_every_child_completion() {
+        use std::sync::Mutex;
+        for threads in [1usize, 4] {
+            let seen: Mutex<HashSet<(usize, usize)>> = Mutex::new(HashSet::new());
+            let out = run_tree_quarantined_sink(
+                (0..9u64).collect(),
+                &ParallelConfig::with_threads(threads),
+                |_pi, p| (p, (0..3u64).collect()),
+                |path, c| {
+                    if path.parent == 2 && path.child == 1 {
+                        panic!("child down");
+                    }
+                    c + 1
+                },
+                |path, r: &Result<u64, TaskPanic>| {
+                    assert_eq!(r.is_err(), path.parent == 2 && path.child == 1);
+                    assert!(
+                        seen.lock().unwrap().insert((path.parent, path.child)),
+                        "sink fired twice for {path:?}"
+                    );
+                },
+            );
+            assert_eq!(seen.into_inner().unwrap().len(), 27, "threads = {threads}");
+            assert_eq!(out[2].1[1], Err(TaskPanic::new("child down")));
         }
     }
 }

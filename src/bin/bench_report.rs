@@ -699,7 +699,10 @@ fn main() {
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("creating {out_dir}: {e}"));
     for suite in &suites {
         let path = format!("{}/{}", out_dir.trim_end_matches('/'), suite.file);
-        std::fs::write(&path, serde_json::to_string_pretty(&suite.report) + "\n")
+        // Atomic commit: a crash mid-write must never leave a partial
+        // BENCH_*.json for CI's bit-for-bit diff to trip over.
+        let bytes = serde_json::to_string_pretty(&suite.report) + "\n";
+        blind_rendezvous::checkpoint::commit_bytes(std::path::Path::new(&path), bytes.as_bytes())
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {path}");
     }

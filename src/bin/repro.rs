@@ -55,6 +55,27 @@
 //!                      backfills ledger entries from committed
 //!                      REPRO_*.json / BENCH_*.json snapshots (the seed
 //!                      generation); bench entries record the CLI tier
+//!   history fsck [--repair] [--history FILE]
+//!                      checks the ledger (default HISTORY.jsonl) for
+//!                      corrupt lines: reports each with its line number
+//!                      and exits 1 if any are found; with --repair the
+//!                      ledger is rewritten without them through the
+//!                      atomic-commit path (exit 0)
+//!
+//! crash safety (see the `blind_rendezvous::checkpoint` module docs):
+//!   <pipeline> --checkpoint FILE
+//!                      journal every completed grid cell to FILE; if a
+//!                      compatible journal is already there (same
+//!                      pipeline/tier/commit/config fingerprint), resume
+//!                      it — replay its cells and run only the missing
+//!                      ones. A stale or torn journal starts fresh, so
+//!                      evicted cron runs self-heal
+//!   <pipeline> --resume FILE
+//!                      strict resume: like --checkpoint, but a missing,
+//!                      headerless, or stale journal is an error (exit 4)
+//!                      instead of a fresh start
+//!                      Either way the resumed artifact is byte-identical
+//!                      to an uninterrupted run, failed cells included
 //!
 //! console experiments:
 //!   table1-asym    E1  Table 1, asymmetric column (TTR vs n, fitted exponents)
@@ -76,13 +97,18 @@
 //!
 //! exit codes:
 //!   0  success — every cell completed and every gated bound held
-//!   1  a gated bound violation (the CI contract for committed artifacts)
+//!   1  a gated bound violation (the CI contract for committed artifacts),
+//!      or `history fsck` found corruption without --repair
 //!   2  usage error (unknown experiment, bad arguments)
 //!   3  degraded partial artifact — some grid cells failed (panic or
 //!      sampling exhaustion); the artifact's failed_cells section lists
 //!      them. Takes precedence over 1.
+//!   4  checkpoint-resume rejection — `--resume` named a journal that is
+//!      missing, headerless, or stale (written by a different
+//!      pipeline/tier/commit/config), or the journal file is unreadable
 //! ```
 
+use blind_rendezvous::checkpoint::{self, Journal};
 use blind_rendezvous::history::{self, HostFingerprint, TrendOptions};
 use blind_rendezvous::pipelines;
 use blind_rendezvous::prelude::*;
@@ -149,15 +175,23 @@ fn main() {
             })
     };
     let history_path = flag_value("--history").map(PathBuf::from);
+    let checkpoint_path = flag_value("--checkpoint").map(PathBuf::from);
+    let resume_path = flag_value("--resume").map(PathBuf::from);
+    if checkpoint_path.is_some() && resume_path.is_some() {
+        eprintln!("--checkpoint and --resume are mutually exclusive");
+        std::process::exit(2);
+    }
     // Positional arguments: everything that is neither a flag nor the
     // value of a value-taking flag.
-    const VALUE_FLAGS: [&str; 6] = [
+    const VALUE_FLAGS: [&str; 8] = [
         "--out-dir",
         "--faults",
         "--history",
         "--window",
         "--max-regression-pct",
         "--out",
+        "--checkpoint",
+        "--resume",
     ];
     let mut positional: Vec<&str> = Vec::new();
     let mut skip_next = false;
@@ -175,6 +209,46 @@ fn main() {
         }
     }
     let cmd = positional.first().copied().unwrap_or("all");
+    if (checkpoint_path.is_some() || resume_path.is_some())
+        && !matches!(cmd, "table1" | "lower" | "sdp")
+    {
+        eprintln!("--checkpoint/--resume only apply to the table1, lower, and sdp pipelines");
+        std::process::exit(2);
+    }
+    // The journal for this run, under the given fingerprint:
+    // `--checkpoint` opens leniently (resume a compatible journal, start
+    // fresh otherwise), `--resume` strictly (a journal it cannot resume
+    // exits 4). Corrupt journal lines are reported and re-run, not fatal.
+    let open_journal = |fp: &checkpoint::Fingerprint| -> Option<Journal> {
+        let (path, strict) = match (&checkpoint_path, &resume_path) {
+            (Some(p), None) => (p, false),
+            (None, Some(p)) => (p, true),
+            _ => return None,
+        };
+        let opened = if strict {
+            Journal::resume(path, fp)
+        } else {
+            Journal::open(path, fp)
+        };
+        let journal = opened.unwrap_or_else(|e| {
+            eprintln!("checkpoint: {e}");
+            std::process::exit(4);
+        });
+        for s in &journal.skipped {
+            eprintln!(
+                "checkpoint: skipped corrupt journal line {} of {}: {}",
+                s.line,
+                journal.path().display(),
+                s.error
+            );
+        }
+        println!(
+            "checkpoint: journaling to {} ({} cells replayed)",
+            journal.path().display(),
+            journal.replayed().len()
+        );
+        Some(journal)
+    };
     let ctx = Ctx {
         tier,
         out_dir,
@@ -182,19 +256,40 @@ fn main() {
     };
     match cmd {
         "table1" => match faults {
-            Some(profile) => run_pipeline(
-                &ctx,
-                pipelines::faults::run(tier, 0, profile, sabotage),
-                pipelines::faults::STEM,
-            ),
-            None => run_pipeline(
-                &ctx,
-                pipelines::table1::run(tier, 0),
-                pipelines::table1::STEM,
-            ),
+            Some(profile) => {
+                let journal =
+                    open_journal(&pipelines::faults::fingerprint(tier, profile, sabotage));
+                run_pipeline(
+                    &ctx,
+                    pipelines::faults::run_with(tier, 0, profile, sabotage, journal.as_ref()),
+                    pipelines::faults::STEM,
+                );
+            }
+            None => {
+                let journal = open_journal(&pipelines::table1::fingerprint(tier));
+                run_pipeline(
+                    &ctx,
+                    pipelines::table1::run_with(tier, 0, journal.as_ref()),
+                    pipelines::table1::STEM,
+                );
+            }
         },
-        "lower" => run_pipeline(&ctx, pipelines::lower::run(tier, 0), pipelines::lower::STEM),
-        "sdp" => run_pipeline(&ctx, pipelines::sdp::run(tier, 0), pipelines::sdp::STEM),
+        "lower" => {
+            let journal = open_journal(&pipelines::lower::fingerprint(tier));
+            run_pipeline(
+                &ctx,
+                pipelines::lower::run_with(tier, 0, journal.as_ref()),
+                pipelines::lower::STEM,
+            );
+        }
+        "sdp" => {
+            let journal = open_journal(&pipelines::sdp::fingerprint(tier));
+            run_pipeline(
+                &ctx,
+                pipelines::sdp::run_with(tier, 0, journal.as_ref()),
+                pipelines::sdp::STEM,
+            );
+        }
         "trend" => match &history_path {
             Some(ledger) => {
                 let opts = TrendOptions {
@@ -247,6 +342,16 @@ fn main() {
             }
             history_import(ledger, &positional[1..], tier);
         }
+        "history" => match positional.get(1).copied() {
+            Some("fsck") => {
+                let ledger = history_path.unwrap_or_else(|| PathBuf::from("HISTORY.jsonl"));
+                history_fsck(&ledger, args.iter().any(|a| a == "--repair"));
+            }
+            _ => {
+                eprintln!("usage: repro history fsck [--repair] [--history LEDGER.jsonl]");
+                std::process::exit(2);
+            }
+        },
         "table1-asym" => table1_asym(&ctx),
         "table1-sym" => table1_sym(&ctx),
         "thm3-scaling" => thm3_scaling(&ctx),
@@ -401,6 +506,47 @@ fn read_ledger(path: &std::path::Path) -> blind_rendezvous::history::Ledger {
     ledger
 }
 
+/// `repro history fsck [--repair]`: reports the ledger's corrupt lines
+/// with their line numbers; without `--repair` any corruption exits 1,
+/// with it the ledger is rewritten without the corrupt lines through the
+/// atomic-commit path.
+fn history_fsck(path: &std::path::Path, repair: bool) {
+    let ledger = history::read(path).unwrap_or_else(|e| {
+        eprintln!("reading {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    if ledger.skipped.is_empty() {
+        println!(
+            "{}: clean — {} generations, no corrupt lines",
+            path.display(),
+            ledger.entries.len()
+        );
+        return;
+    }
+    for s in &ledger.skipped {
+        eprintln!("{}: corrupt line {}: {}", path.display(), s.line, s.error);
+    }
+    if repair {
+        history::rewrite(path, &ledger.entries).unwrap_or_else(|e| {
+            eprintln!("repairing {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        println!(
+            "repaired {}: kept {} generations, dropped {} corrupt lines",
+            path.display(),
+            ledger.entries.len(),
+            ledger.skipped.len()
+        );
+    } else {
+        eprintln!(
+            "{}: {} corrupt lines (re-run with --repair to drop them)",
+            path.display(),
+            ledger.skipped.len()
+        );
+        std::process::exit(1);
+    }
+}
+
 /// `repro trend --history LEDGER`: the N-generation analysis; exits 1 on
 /// any regressed series — the CI gate.
 fn trend_history(ledger_path: &std::path::Path, opts: &TrendOptions) {
@@ -438,7 +584,8 @@ fn dashboard(ledger_path: &std::path::Path, out_path: &std::path::Path) {
     if let Some(dir) = out_path.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
     }
-    std::fs::write(out_path, &md).unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
+    checkpoint::commit_bytes(out_path, md.as_bytes())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
     println!(
         "wrote {} ({} generations, {} skipped lines)",
         out_path.display(),

@@ -1,0 +1,625 @@
+//! Crash-safe execution for the reproduction pipelines: the per-cell
+//! **checkpoint journal** behind `repro --checkpoint` / `--resume`, and
+//! the **atomic commit** path every artifact writer goes through.
+//!
+//! # The journal
+//!
+//! A journal is an append-only JSONL file. Its first line is a *header*
+//! pinning the run's [`Fingerprint`] — pipeline stem, tier, commit, and a
+//! pipeline-specific config string — so a journal written by a different
+//! grid shape (or a different build) is rejected as stale instead of
+//! silently splicing foreign rows into an artifact. Every subsequent line
+//! records one completed grid cell ([`CellRecord`]): either its finished
+//! artifact row, or the [`FailedCell`] (cause, retry count, seed) of a
+//! quarantined failure — so even a degraded exit-code-3 run resumes to
+//! the byte-identical artifact.
+//!
+//! Each line is **length-prefixed** (`<byte-len> <compact-json>`): a
+//! crash mid-append leaves a torn final line whose payload is shorter
+//! than its prefix claims, which the reader detects and drops — the cell
+//! simply re-runs. Corrupt interior lines are likewise isolated into
+//! [`Journal::skipped`] and never fatal, the same philosophy as
+//! [`crate::history`]'s ledger parser.
+//!
+//! Because every cell is a pure function of its path-derived seed, a
+//! resumed run may replay journaled cells in any order and compute only
+//! the missing ones: the resulting artifact is **byte-identical** to an
+//! uninterrupted run. (The JSON shim's number domain is `f64` with
+//! shortest-round-trip formatting, so a serialized row re-parses to the
+//! exact same value and re-serializes to the exact same bytes.)
+//!
+//! # Atomic commits
+//!
+//! [`commit_bytes`] writes through a same-directory temporary file,
+//! fsyncs, then renames over the destination — so a crash at any point
+//! leaves either the old complete file or the new complete file, never a
+//! partial `REPRO_*`/`DASHBOARD.md`/`BENCH_*`. `repro history fsck
+//! --repair` rewrites corrupt ledgers through the same path.
+
+use crate::history::{self, SkippedLine};
+use crate::report::{FailedCell, Tier};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The identity a journal header pins: a journal resumes a run only when
+/// every field matches the resuming process exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// The pipeline's artifact stem (e.g. `"REPRO_table1_faults"`).
+    pub pipeline: String,
+    /// The tier name (`"smoke"` / `"quick"` / `"full"`) — grid shapes
+    /// differ per tier, so cross-tier replay would corrupt the artifact.
+    pub tier: String,
+    /// The writer's commit (see [`history::writer_context`]) — cells are
+    /// pure functions of the *code*, so a journal from another commit is
+    /// stale by definition.
+    pub commit: String,
+    /// A pipeline-specific configuration string (fault profile, sabotage
+    /// indices, …) covering everything else the rows depend on.
+    pub config: String,
+}
+
+impl Fingerprint {
+    /// The fingerprint of the current process for `pipeline` at `tier`
+    /// under `config`, stamping the commit from
+    /// [`history::writer_context`].
+    pub fn new(pipeline: &str, tier: Tier, config: &str) -> Self {
+        let (commit, _) = history::writer_context();
+        Fingerprint {
+            pipeline: pipeline.to_string(),
+            tier: tier.name().to_string(),
+            commit,
+            config: config.to_string(),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("commit", Value::from(self.commit.as_str())),
+            ("config", Value::from(self.config.as_str())),
+            ("kind", Value::from("header")),
+            ("pipeline", Value::from(self.pipeline.as_str())),
+            ("tier", Value::from(self.tier.as_str())),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        if v.get("kind").and_then(Value::as_str) != Some("header") {
+            return Err("first journal line is not a header".to_string());
+        }
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("header without string {k:?}"))
+        };
+        Ok(Fingerprint {
+            pipeline: field("pipeline")?,
+            tier: field("tier")?,
+            commit: field("commit")?,
+            config: field("config")?,
+        })
+    }
+
+    /// The first field on which `self` (the expected identity) and
+    /// `found` (a journal header) disagree, if any.
+    fn mismatch(&self, found: &Fingerprint) -> Option<(&'static str, String, String)> {
+        let fields: [(&'static str, &str, &str); 4] = [
+            ("pipeline", &self.pipeline, &found.pipeline),
+            ("tier", &self.tier, &found.tier),
+            ("commit", &self.commit, &found.commit),
+            ("config", &self.config, &found.config),
+        ];
+        fields
+            .into_iter()
+            .find(|(_, a, b)| a != b)
+            .map(|(name, a, b)| (name, a.to_string(), b.to_string()))
+    }
+}
+
+/// One journaled grid cell: the unit a resumed run replays by row id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellRecord {
+    /// The cell completed and produced this artifact row (verbatim — a
+    /// resumed run splices it back byte-identically).
+    Row {
+        /// The canonical row id ([`crate::report::cell_id`]).
+        id: String,
+        /// The finished row exactly as the artifact carries it.
+        row: Value,
+    },
+    /// The cell failed and was quarantined; the full [`FailedCell`]
+    /// (cause, retries, seed) is journaled so a degraded artifact
+    /// resumes faithfully, retry counts included.
+    Failed(FailedCell),
+}
+
+impl CellRecord {
+    /// The row id this record replays under.
+    pub fn id(&self) -> &str {
+        match self {
+            CellRecord::Row { id, .. } => id,
+            CellRecord::Failed(cell) => &cell.id,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        match self {
+            CellRecord::Row { id, row } => Value::object([
+                ("id", Value::from(id.as_str())),
+                ("kind", Value::from("row")),
+                ("row", row.clone()),
+            ]),
+            CellRecord::Failed(cell) => Value::object([
+                ("cause", Value::from(cell.cause.as_str())),
+                ("id", Value::from(cell.id.as_str())),
+                ("kind", Value::from("failed")),
+                ("retries", Value::from(u64::from(cell.retries))),
+                // Full 64-bit seed as hex — the shim's numbers are f64.
+                ("seed", Value::from(format!("{:#018x}", cell.seed))),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("cell record without string {k:?}"))
+        };
+        match v.get("kind").and_then(Value::as_str) {
+            Some("row") => Ok(CellRecord::Row {
+                id: str_field("id")?,
+                row: v.get("row").cloned().ok_or("row record without \"row\"")?,
+            }),
+            Some("failed") => {
+                let seed_hex = str_field("seed")?;
+                let seed = seed_hex
+                    .strip_prefix("0x")
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("unparseable seed {seed_hex:?}"))?;
+                Ok(CellRecord::Failed(FailedCell {
+                    id: str_field("id")?,
+                    cause: str_field("cause")?,
+                    retries: v
+                        .get("retries")
+                        .and_then(Value::as_u64)
+                        .ok_or("failed record without numeric \"retries\"")?
+                        as u32,
+                    seed,
+                }))
+            }
+            other => Err(format!("unknown cell record kind {other:?}")),
+        }
+    }
+}
+
+/// Why a journal could not be opened for resume.
+#[derive(Debug)]
+pub enum JournalError {
+    /// I/O failure touching the journal file.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// `--resume` named a journal that does not exist.
+    Missing(PathBuf),
+    /// The journal's first line is not a readable header (e.g. the
+    /// process crashed while writing it).
+    NoHeader(PathBuf),
+    /// The journal was written by a different run configuration.
+    Stale {
+        /// The journal path.
+        path: PathBuf,
+        /// The first mismatching header field.
+        field: &'static str,
+        /// What this process expected.
+        expected: String,
+        /// What the journal header carries.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { path, error } => {
+                write!(f, "journal {}: {error}", path.display())
+            }
+            JournalError::Missing(path) => {
+                write!(f, "journal {} does not exist", path.display())
+            }
+            JournalError::NoHeader(path) => {
+                write!(f, "journal {} has no readable header line", path.display())
+            }
+            JournalError::Stale {
+                path,
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stale journal {}: {field} is {found:?}, this run is {expected:?}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// An open checkpoint journal: the replayed cells of a prior run (empty
+/// for a fresh journal) plus an append handle new completions are
+/// recorded through.
+///
+/// [`Journal::record`] is callable from any worker thread (the file
+/// handle is mutex-guarded and each record is a single `write_all` of one
+/// framed line), which is what lets the pool's completion sinks journal
+/// cells the moment they finish.
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    replayed: BTreeMap<String, CellRecord>,
+    /// Corrupt or torn lines isolated during resume (1-based line
+    /// numbers) — reported, never fatal; the affected cells re-run.
+    pub skipped: Vec<SkippedLine>,
+}
+
+/// Frames one record as a length-prefixed journal line.
+fn frame(v: &Value) -> String {
+    let body = serde_json::to_string(v);
+    format!("{} {body}\n", body.len())
+}
+
+/// Validates one journal line's length prefix and parses its payload.
+fn unframe(line: &str) -> Result<Value, String> {
+    let (len, body) = line.split_once(' ').ok_or("line without a length prefix")?;
+    let len: usize = len
+        .parse()
+        .map_err(|_| format!("unparseable length prefix {len:?}"))?;
+    if body.len() != len {
+        return Err(format!(
+            "length prefix claims {len} bytes but the line carries {} (torn write?)",
+            body.len()
+        ));
+    }
+    serde_json::from_str(body).map_err(|e| e.to_string())
+}
+
+impl Journal {
+    /// Starts a fresh journal at `path` (truncating any previous file),
+    /// writing the header line for `fp`.
+    pub fn create(path: &Path, fp: &Fingerprint) -> Result<Journal, JournalError> {
+        let io_err = |error| JournalError::Io {
+            path: path.to_path_buf(),
+            error,
+        };
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(io_err)?;
+        }
+        let mut file = File::create(path).map_err(io_err)?;
+        file.write_all(frame(&fp.to_json()).as_bytes())
+            .map_err(io_err)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            replayed: BTreeMap::new(),
+            skipped: Vec::new(),
+        })
+    }
+
+    /// Resumes from an existing journal at `path`: verifies the header
+    /// matches `fp` exactly, loads every readable cell record (dropping a
+    /// torn final line and isolating corrupt ones into
+    /// [`Journal::skipped`]), and reopens the file for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Missing`] when the file does not exist,
+    /// [`JournalError::NoHeader`] when its first line is unreadable, and
+    /// [`JournalError::Stale`] on any fingerprint mismatch.
+    pub fn resume(path: &Path, fp: &Fingerprint) -> Result<Journal, JournalError> {
+        let text = std::fs::read_to_string(path).map_err(|error| {
+            if error.kind() == std::io::ErrorKind::NotFound {
+                JournalError::Missing(path.to_path_buf())
+            } else {
+                JournalError::Io {
+                    path: path.to_path_buf(),
+                    error,
+                }
+            }
+        })?;
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .and_then(|(_, line)| unframe(line).ok())
+            .and_then(|v| Fingerprint::from_json(&v).ok())
+            .ok_or_else(|| JournalError::NoHeader(path.to_path_buf()))?;
+        if let Some((field, expected, found)) = fp.mismatch(&header) {
+            return Err(JournalError::Stale {
+                path: path.to_path_buf(),
+                field,
+                expected,
+                found,
+            });
+        }
+        let mut replayed = BTreeMap::new();
+        let mut skipped = Vec::new();
+        for (i, line) in lines {
+            match unframe(line).and_then(|v| CellRecord::from_json(&v)) {
+                Ok(rec) => {
+                    // Duplicate ids can only come from a cell journaled on
+                    // one run and re-run on the next before its record was
+                    // observed; the records are identical, last wins.
+                    replayed.insert(rec.id().to_string(), rec);
+                }
+                Err(error) => skipped.push(SkippedLine { line: i + 1, error }),
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|error| JournalError::Io {
+                path: path.to_path_buf(),
+                error,
+            })?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            replayed,
+            skipped,
+        })
+    }
+
+    /// The lenient `--checkpoint` open: resume when a compatible journal
+    /// already exists at `path`, start fresh when it is missing, headerless,
+    /// or stale (an evicted cron resumes; a new commit restarts cleanly).
+    /// Only real I/O failure is an error.
+    pub fn open(path: &Path, fp: &Fingerprint) -> Result<Journal, JournalError> {
+        match Journal::resume(path, fp) {
+            Ok(journal) => Ok(journal),
+            Err(JournalError::Missing(_))
+            | Err(JournalError::NoHeader(_))
+            | Err(JournalError::Stale { .. }) => Journal::create(path, fp),
+            Err(io) => Err(io),
+        }
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The cells replayed from a prior run, keyed by row id.
+    pub fn replayed(&self) -> &BTreeMap<String, CellRecord> {
+        &self.replayed
+    }
+
+    /// The replayed record for `id`, if the prior run completed that cell.
+    pub fn lookup(&self, id: &str) -> Option<&CellRecord> {
+        self.replayed.get(id)
+    }
+
+    /// Appends one completed cell as a single framed line (one
+    /// `write_all`, so a crash tears at most this line — which the next
+    /// resume detects by its length prefix and drops).
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure: an unwritable journal voids the crash-safety
+    /// the caller asked for, so it is fatal like an unwritable artifact.
+    pub fn record(&self, rec: &CellRecord) {
+        let line = frame(&rec.to_json());
+        let mut file = self.file.lock().expect("journal mutex");
+        file.write_all(line.as_bytes())
+            .unwrap_or_else(|e| panic!("appending to journal {}: {e}", self.path.display()));
+    }
+}
+
+/// Atomically commits `bytes` as the complete contents of `path`: writes
+/// a same-directory temporary file, fsyncs it, and renames it over the
+/// destination. A crash at any point leaves either the old file or the
+/// new one — never a partial artifact.
+///
+/// # Errors
+///
+/// Propagates I/O failures (the temporary file is cleaned up on a failed
+/// commit where possible).
+pub fn commit_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artifact");
+    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+    let commit = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Flush file contents to disk before the rename publishes them,
+        // so the rename can never expose an empty or partial file.
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if commit.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    } else {
+        // Durability of the rename itself: fsync the directory entry.
+        // Best-effort — not every platform lets a directory be opened.
+        let _ = File::open(&dir).and_then(|d| d.sync_all());
+    }
+    commit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rdv_checkpoint_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    fn fp() -> Fingerprint {
+        Fingerprint {
+            pipeline: "REPRO_test".to_string(),
+            tier: "smoke".to_string(),
+            commit: "deadbeef".to_string(),
+            config: "profile=light".to_string(),
+        }
+    }
+
+    fn sample_records() -> Vec<CellRecord> {
+        vec![
+            CellRecord::Row {
+                id: "a/sync/sym/n=8".to_string(),
+                row: Value::object([
+                    ("id", Value::from("a/sync/sym/n=8")),
+                    ("measured", Value::from(12u64)),
+                    ("ratio", Value::from(0.4375f64)),
+                    ("gated", Value::from(true)),
+                ]),
+            },
+            CellRecord::Failed(FailedCell {
+                id: "b/async/asym/n=16".to_string(),
+                cause: "panic: deliberately poisoned".to_string(),
+                retries: 3,
+                seed: 0xFA01_7ED5_0000_0001,
+            }),
+        ]
+    }
+
+    #[test]
+    fn journal_round_trips_records_and_fingerprint() {
+        let path = scratch("round_trip.ckpt");
+        let journal = Journal::create(&path, &fp()).expect("create");
+        for rec in sample_records() {
+            journal.record(&rec);
+        }
+        drop(journal);
+        let resumed = Journal::resume(&path, &fp()).expect("resume");
+        assert!(resumed.skipped.is_empty());
+        assert_eq!(resumed.replayed().len(), 2);
+        for rec in sample_records() {
+            assert_eq!(resumed.lookup(rec.id()), Some(&rec));
+        }
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_not_fatal() {
+        let path = scratch("torn.ckpt");
+        let journal = Journal::create(&path, &fp()).expect("create");
+        for rec in sample_records() {
+            journal.record(&rec);
+        }
+        drop(journal);
+        let full = std::fs::read_to_string(&path).expect("read");
+        // Every proper prefix that still contains the header must resume
+        // with at most the complete records, never an error.
+        let header_len = full.lines().next().expect("header").len() + 1;
+        for cut in header_len..full.len() {
+            std::fs::write(&path, &full.as_bytes()[..cut]).expect("truncate");
+            let resumed = Journal::resume(&path, &fp()).expect("torn journal must resume");
+            assert!(resumed.replayed().len() <= 2, "cut at {cut}");
+            for rec in resumed.replayed().values() {
+                assert!(sample_records().contains(rec), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_fingerprint_is_rejected_and_open_starts_fresh() {
+        let path = scratch("stale.ckpt");
+        let journal = Journal::create(&path, &fp()).expect("create");
+        journal.record(&sample_records()[0]);
+        drop(journal);
+        let mut other = fp();
+        other.tier = "full".to_string();
+        match Journal::resume(&path, &other) {
+            Err(JournalError::Stale {
+                field, expected, ..
+            }) => {
+                assert_eq!(field, "tier");
+                assert_eq!(expected, "full");
+            }
+            other => panic!("expected Stale, got {:?}", other.err()),
+        }
+        // The lenient open truncates the stale journal and starts over.
+        let fresh = Journal::open(&path, &other).expect("open");
+        assert!(fresh.replayed().is_empty());
+        drop(fresh);
+        let resumed = Journal::resume(&path, &other).expect("fresh journal resumes");
+        assert!(resumed.replayed().is_empty());
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_isolated() {
+        let path = scratch("interior.ckpt");
+        let journal = Journal::create(&path, &fp()).expect("create");
+        journal.record(&sample_records()[0]);
+        drop(journal);
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("7 {oops}\n");
+        std::fs::write(&path, &text).expect("write");
+        let journal = Journal::resume(&path, &fp()).expect("resume");
+        journal.record(&sample_records()[1]);
+        drop(journal);
+        let resumed = Journal::resume(&path, &fp()).expect("resume");
+        assert_eq!(resumed.replayed().len(), 2);
+        assert_eq!(resumed.skipped.len(), 1);
+        assert_eq!(resumed.skipped[0].line, 3);
+    }
+
+    #[test]
+    fn missing_and_headerless_journals() {
+        let path = scratch("missing.ckpt");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            Journal::resume(&path, &fp()),
+            Err(JournalError::Missing(_))
+        ));
+        std::fs::write(&path, "garbage, no header\n").expect("write");
+        assert!(matches!(
+            Journal::resume(&path, &fp()),
+            Err(JournalError::NoHeader(_))
+        ));
+        let fresh = Journal::open(&path, &fp()).expect("open recovers");
+        assert!(fresh.replayed().is_empty());
+    }
+
+    #[test]
+    fn commit_bytes_replaces_contents_atomically() {
+        let path = scratch("commit.txt");
+        commit_bytes(&path, b"first generation\n").expect("commit");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read"),
+            "first generation\n"
+        );
+        commit_bytes(&path, b"second generation\n").expect("commit");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read"),
+            "second generation\n"
+        );
+        // No temporary droppings left behind.
+        let dir = path.parent().expect("dir");
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("commit.txt."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+}

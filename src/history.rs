@@ -265,7 +265,9 @@ pub struct Ledger {
 }
 
 /// Appends one entry to the ledger file as a single compact JSON line,
-/// creating the file if needed.
+/// creating the file if needed. The line is committed with one
+/// `write(2)` on an `O_APPEND` handle, so a crash mid-append can tear at
+/// most this line — which the parser then isolates, never the ledger.
 ///
 /// # Errors
 ///
@@ -276,7 +278,25 @@ pub fn append(path: &Path, entry: &LedgerEntry) -> std::io::Result<()> {
         .create(true)
         .append(true)
         .open(path)?;
-    writeln!(file, "{}", serde_json::to_string(&entry.to_json()))
+    let line = format!("{}\n", serde_json::to_string(&entry.to_json()));
+    file.write_all(line.as_bytes())
+}
+
+/// Rewrites the ledger file to contain exactly `entries`, through the
+/// atomic tmp+fsync+rename commit path — this is what `repro history
+/// fsck --repair` uses to drop corrupt lines without ever exposing a
+/// half-written ledger.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the atomic commit.
+pub fn rewrite(path: &Path, entries: &[LedgerEntry]) -> std::io::Result<()> {
+    let mut text = String::new();
+    for entry in entries {
+        text.push_str(&serde_json::to_string(&entry.to_json()));
+        text.push('\n');
+    }
+    crate::checkpoint::commit_bytes(path, text.as_bytes())
 }
 
 /// Reads a ledger file: every parseable line becomes an entry, every

@@ -272,7 +272,9 @@ impl Artifact {
 }
 
 /// Writes the artifact pair as `<out_dir>/<stem>.json` and
-/// `<out_dir>/<stem>.md`, returning both paths.
+/// `<out_dir>/<stem>.md`, returning both paths. Each file is committed
+/// atomically ([`crate::checkpoint::commit_bytes`]): a crash mid-write
+/// leaves the previous artifact intact, never a partial one.
 ///
 /// # Panics
 ///
@@ -282,10 +284,11 @@ pub fn write_artifacts(out_dir: &Path, stem: &str, out: &PipelineOutput) -> (Pat
     std::fs::create_dir_all(out_dir)
         .unwrap_or_else(|e| panic!("creating {}: {e}", out_dir.display()));
     let json_path = out_dir.join(format!("{stem}.json"));
-    std::fs::write(&json_path, serde_json::to_string_pretty(&out.json) + "\n")
+    let json_bytes = serde_json::to_string_pretty(&out.json) + "\n";
+    crate::checkpoint::commit_bytes(&json_path, json_bytes.as_bytes())
         .unwrap_or_else(|e| panic!("writing {}: {e}", json_path.display()));
     let md_path = out_dir.join(format!("{stem}.md"));
-    std::fs::write(&md_path, &out.markdown)
+    crate::checkpoint::commit_bytes(&md_path, out.markdown.as_bytes())
         .unwrap_or_else(|e| panic!("writing {}: {e}", md_path.display()));
     (json_path, md_path)
 }

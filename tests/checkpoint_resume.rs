@@ -1,0 +1,277 @@
+//! Crash-safety contract of the checkpoint layer: the journal
+//! round-trips arbitrary cell records (surviving a torn final line and
+//! rejecting a stale fingerprint), and a pipeline interrupted after any
+//! cell prefix resumes to an artifact **byte-identical** to an
+//! uninterrupted run — including a sabotaged, degraded (exit-code-3
+//! class) faults grid, whose `FailedCell` retries and causes ride the
+//! journal too. Verified at 1 and 8 worker threads, the `cargo test`
+//! twin of CI's `resume-smoke` job.
+
+use blind_rendezvous::checkpoint::{CellRecord, Fingerprint, Journal, JournalError};
+use blind_rendezvous::pipelines::faults::{self, Sabotage};
+use blind_rendezvous::report::{FailedCell, PipelineOutput, Tier};
+use proptest::prelude::*;
+use rdv_core::fault::FaultProfile;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The sabotage configuration `repro --sabotage` and CI use: cell 1
+/// panics, cell 2 exhausts its sampler.
+const SABOTAGE: Sabotage = Sabotage {
+    poison_cell: Some(1),
+    exhaust_cell: Some(2),
+};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdv_ckpt_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn fp(pipeline: &str) -> Fingerprint {
+    Fingerprint {
+        pipeline: pipeline.to_string(),
+        tier: "smoke".to_string(),
+        commit: "cafe1234".to_string(),
+        config: "profile=light".to_string(),
+    }
+}
+
+// ------------------------------------------------ proptest: the journal
+
+/// One arbitrary JSON scalar from the value domains the pipelines
+/// actually journal: u64 counters, bools, shortest-round-trip floats,
+/// and strings (including quotes/backslashes that exercise escaping).
+fn scalar() -> impl Strategy<Value = Value> {
+    (0u64..4, any::<u64>(), 1u64..1 << 20).prop_map(|(kind, raw, den)| match kind {
+        0 => Value::from(raw >> 12),
+        1 => Value::from(raw & 1 == 1),
+        2 => Value::from((raw % (1 << 30)) as f64 / den as f64),
+        _ => Value::from(format!("s\"{}\\{}", raw % 1000, raw % 7)),
+    })
+}
+
+/// An arbitrary journaled cell: either a finished row (id + a JSON
+/// object payload) or a failed cell with cause/retries/seed.
+fn record_strategy() -> impl Strategy<Value = CellRecord> {
+    (
+        0u64..4,
+        any::<u64>(),
+        proptest::collection::vec((0u64..1000, scalar()), 1..8),
+        0u32..16,
+    )
+        .prop_map(|(kind, raw, fields, retries)| {
+            let id = format!("cell-{}/axis={}/n={}", raw % 37, raw % 5, raw % 500);
+            if kind == 0 {
+                CellRecord::Failed(FailedCell {
+                    id,
+                    cause: format!("probe gave up ({raw:#x})"),
+                    retries,
+                    seed: raw,
+                })
+            } else {
+                let mut obj = BTreeMap::new();
+                for (i, (key, value)) in fields.into_iter().enumerate() {
+                    obj.insert(format!("k{key}_{i}"), value);
+                }
+                CellRecord::Row {
+                    id,
+                    row: Value::Object(obj),
+                }
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Create → record* → resume round-trips every record exactly, with
+    /// nothing skipped. Duplicate ids resolve last-wins, mirroring how a
+    /// resumed run re-journals a cell whose record was lost to a crash.
+    #[test]
+    fn journal_round_trips_arbitrary_records(
+        records in proptest::collection::vec(record_strategy(), 0..12),
+    ) {
+        let path = scratch("prop_round.ckpt");
+        let journal = Journal::create(&path, &fp("REPRO_prop")).expect("create");
+        for rec in &records {
+            journal.record(rec);
+        }
+        drop(journal);
+        let resumed = Journal::resume(&path, &fp("REPRO_prop")).expect("resume");
+        prop_assert!(resumed.skipped.is_empty());
+        for rec in &records {
+            let last = records.iter().rev().find(|r| r.id() == rec.id());
+            prop_assert_eq!(resumed.lookup(rec.id()), last);
+        }
+    }
+
+    /// Truncating the journal at ANY byte past the header — torn final
+    /// line included — still resumes: the complete prefix of records is
+    /// replayed, the torn tail is dropped, and nothing is fatal.
+    #[test]
+    fn torn_final_line_replays_the_complete_prefix(
+        records in proptest::collection::vec(record_strategy(), 1..8),
+        cut_raw in any::<u64>(),
+    ) {
+        let path = scratch("prop_torn.ckpt");
+        let journal = Journal::create(&path, &fp("REPRO_prop")).expect("create");
+        for rec in &records {
+            journal.record(rec);
+        }
+        drop(journal);
+        let full = std::fs::read(&path).expect("read");
+        let header_len = full.iter().position(|&b| b == b'\n').expect("header") + 1;
+        let cut = header_len + (cut_raw as usize) % (full.len() - header_len + 1);
+        std::fs::write(&path, &full[..cut]).expect("truncate");
+        let resumed = Journal::resume(&path, &fp("REPRO_prop")).expect("torn journal resumes");
+        // Whatever survived was genuinely written...
+        for rec in resumed.replayed().values() {
+            prop_assert!(records.iter().any(|r| r == rec), "foreign record {rec:?}");
+        }
+        // ...and every record whose framed line survived the cut intact
+        // replays (last-wins over the surviving prefix).
+        let mut offset = header_len;
+        let mut expected: BTreeMap<String, CellRecord> = BTreeMap::new();
+        for (line, rec) in String::from_utf8_lossy(&full[header_len..])
+            .lines()
+            .zip(&records)
+        {
+            offset += line.len() + 1;
+            if offset <= cut {
+                expected.insert(rec.id().to_string(), rec.clone());
+            }
+        }
+        for (id, rec) in &expected {
+            prop_assert_eq!(resumed.lookup(id), Some(rec));
+        }
+    }
+
+    /// Any single-field fingerprint mutation is rejected by the strict
+    /// resume with `Stale` naming that field, while the lenient open
+    /// starts a fresh journal instead.
+    #[test]
+    fn stale_fingerprint_is_rejected_field_by_field(field in 0usize..4) {
+        let path = scratch("prop_stale.ckpt");
+        let journal = Journal::create(&path, &fp("REPRO_prop")).expect("create");
+        journal.record(&CellRecord::Failed(FailedCell {
+            id: "a/n=8".to_string(),
+            cause: "probe".to_string(),
+            retries: 1,
+            seed: 7,
+        }));
+        drop(journal);
+        let mut other = fp("REPRO_prop");
+        let (name, slot) = match field {
+            0 => ("pipeline", &mut other.pipeline),
+            1 => ("tier", &mut other.tier),
+            2 => ("commit", &mut other.commit),
+            _ => ("config", &mut other.config),
+        };
+        *slot = format!("{slot}-mutated");
+        match Journal::resume(&path, &other) {
+            Err(JournalError::Stale { field: f, .. }) => prop_assert_eq!(f, name),
+            out => prop_assert!(false, "expected Stale, got {:?}", out.err()),
+        }
+        let fresh = Journal::open(&path, &other).expect("lenient open recovers");
+        prop_assert!(fresh.replayed().is_empty());
+    }
+}
+
+// ------------------------------- kill-style: the sabotaged faults grid
+
+/// Runs the sabotaged smoke faults grid with a journal at `path`
+/// (creating it fresh or strictly resuming it).
+fn checkpointed_run(path: &Path, threads: usize, create: bool) -> PipelineOutput {
+    let profile = FaultProfile::named("light").expect("committed profile");
+    let fingerprint = faults::fingerprint(Tier::Smoke, profile, SABOTAGE);
+    let journal = if create {
+        Journal::create(path, &fingerprint).expect("create journal")
+    } else {
+        Journal::resume(path, &fingerprint).expect("resume journal")
+    };
+    faults::run_with(Tier::Smoke, threads, profile, SABOTAGE, Some(&journal))
+}
+
+fn artifact_bytes(out: &PipelineOutput) -> (String, String) {
+    (
+        serde_json::to_string_pretty(&out.json) + "\n",
+        out.markdown.clone(),
+    )
+}
+
+/// The kill-style resume test: run the sabotaged (degraded) faults grid
+/// to completion under a journal, then simulate a crash after K cells by
+/// truncating the journal to its first K records, resume, and demand the
+/// resumed artifact byte-identical to the uninterrupted one — failed
+/// cells, retry counts, and causes included. At 1 and 8 threads.
+#[test]
+fn truncated_journal_resumes_byte_identical() {
+    for threads in [1usize, 8] {
+        let path = scratch(&format!("kill_{threads}.ckpt"));
+        let baseline = checkpointed_run(&path, threads, true);
+        let (base_json, base_md) = artifact_bytes(&baseline);
+        assert_eq!(baseline.failed_cells.len(), 2, "sabotage must degrade");
+
+        let full = std::fs::read_to_string(&path).expect("journal");
+        let lines: Vec<&str> = full.lines().collect();
+        assert_eq!(lines.len(), 1 + 12, "header + every smoke cell");
+        // Crash after K = 0, 1, 5, and 11 completed cells (journal keeps
+        // header + K records), plus a torn final line on top of K = 5.
+        for keep in [0usize, 1, 5, 11] {
+            let mut prefix: String = lines[..=keep].iter().map(|l| format!("{l}\n")).collect();
+            if keep == 5 {
+                let torn = lines[6];
+                prefix.push_str(&torn[..torn.len() / 2]);
+            }
+            std::fs::write(&path, &prefix).expect("truncate");
+            let resumed = checkpointed_run(&path, threads, false);
+            let (json, md) = artifact_bytes(&resumed);
+            assert_eq!(
+                json, base_json,
+                "resume after {keep} cells at {threads} threads diverged (JSON)"
+            );
+            assert_eq!(
+                md, base_md,
+                "resume after {keep} cells at {threads} threads diverged (markdown)"
+            );
+            assert_eq!(resumed.failed_cells, baseline.failed_cells);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// A fully-journaled grid resumes without recomputing anything: the
+/// journal replays all 12 cells and the artifact still matches.
+#[test]
+fn complete_journal_replays_every_cell() {
+    let path = scratch("complete.ckpt");
+    let baseline = checkpointed_run(&path, 1, true);
+    let profile = FaultProfile::named("light").expect("committed profile");
+    let fingerprint = faults::fingerprint(Tier::Smoke, profile, SABOTAGE);
+    let journal = Journal::resume(&path, &fingerprint).expect("resume");
+    assert_eq!(journal.replayed().len(), 12);
+    let resumed = faults::run_with(Tier::Smoke, 1, profile, SABOTAGE, Some(&journal));
+    assert_eq!(artifact_bytes(&baseline), artifact_bytes(&resumed));
+    std::fs::remove_file(&path).ok();
+}
+
+/// A journal from a different sabotage configuration is stale: a clean
+/// grid must never splice in rows measured under sabotage.
+#[test]
+fn sabotage_config_is_part_of_the_fingerprint() {
+    let path = scratch("sabotage_fp.ckpt");
+    let profile = FaultProfile::named("light").expect("committed profile");
+    let sabotaged = faults::fingerprint(Tier::Smoke, profile, SABOTAGE);
+    let clean = faults::fingerprint(Tier::Smoke, profile, Sabotage::NONE);
+    drop(Journal::create(&path, &sabotaged).expect("create"));
+    assert!(matches!(
+        Journal::resume(&path, &clean),
+        Err(JournalError::Stale {
+            field: "config",
+            ..
+        })
+    ));
+    std::fs::remove_file(&path).ok();
+}
