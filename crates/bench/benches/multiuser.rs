@@ -11,7 +11,7 @@
 //! sizes (it is the quadratic cost the arena removes).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rdv_sim::engine::{EngineConfig, ResolveMode, Simulation};
+use rdv_sim::engine::{EngineConfig, PlanePolicy, ResolveMode, Simulation};
 use rdv_sim::{workload, Algorithm, ParallelConfig};
 use std::hint::black_box;
 
@@ -47,11 +47,32 @@ fn bench_arena_engine(c: &mut Criterion) {
             let cfg = EngineConfig {
                 parallel: ParallelConfig::with_threads(0),
                 mode,
+                plane: PlanePolicy::Auto,
                 faults: None,
             };
             group.bench_with_input(BenchmarkId::new(name, n_agents), &cfg, |b, cfg| {
                 b.iter(|| black_box(sim.run_engine(horizon, cfg)))
             });
+        }
+        // The bit-plane pair kernel against its slotwise baseline, both
+        // forced pair-major so the comparison isolates the row layout —
+        // the criterion twin of the `bitplane_speedup` column in the
+        // committed BENCH_multiuser.json.
+        if n_agents == 512 {
+            for (name, plane) in [
+                ("pair_major_bitplane", PlanePolicy::Auto),
+                ("pair_major_slotwise", PlanePolicy::Slotwise),
+            ] {
+                let cfg = EngineConfig {
+                    parallel: ParallelConfig::with_threads(0),
+                    mode: ResolveMode::PairMajor,
+                    plane,
+                    faults: None,
+                };
+                group.bench_with_input(BenchmarkId::new(name, n_agents), &cfg, |b, cfg| {
+                    b.iter(|| black_box(sim.run_engine(horizon, cfg)))
+                });
+            }
         }
     }
     group.finish();

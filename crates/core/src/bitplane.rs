@@ -1,0 +1,202 @@
+//! Bit-plane packing of channel rows: the word-parallel representation
+//! behind the arena engine's pair-major resolve.
+//!
+//! A channel row is a `len`-slot array of `u64` channel ids with `0` as
+//! the no-meet sentinel (asleep, out of its in-play window, or blacked
+//! out). The slotwise kernel compares one slot per step; packed into
+//! bit-planes, **64 slots compare per word op**:
+//!
+//! * one **presence plane** — bit `x` set iff slot `x` carries a channel
+//!   (`row[x] != 0`);
+//! * one plane per channel-id bit — plane `b` holds bit `b` of each
+//!   slot's channel id, so a universe whose largest channel needs
+//!   `nbits` bits packs into `1 + nbits` planes of `len.div_ceil(64)`
+//!   words.
+//!
+//! Two packed rows meet at slot `x` iff both presence bits are set and
+//! every channel-bit plane agrees — `presence_a & presence_b`, then
+//! AND-ing in the XNOR of each plane pair, leaves exactly the meeting
+//! slots set; `trailing_zeros` extracts the first one branch-free. The
+//! packing is log₂-coded (binary channel ids), not one-plane-per-channel,
+//! so the plane count grows with the *bit width* of the universe, not its
+//! size; [`PLANE_BITS_BUDGET`] caps it and callers fall back to the
+//! slotwise kernel beyond (the 2⁴⁰-channel coalition universe stays
+//! slotwise).
+
+/// Largest channel-id bit width the packed representation covers:
+/// universes up to `2^PLANE_BITS_BUDGET - 1` channels pack into at most
+/// `1 + PLANE_BITS_BUDGET` planes (17 words per 64 slots — still ~4×
+/// denser than the slotwise row, and the match loop usually early-exits
+/// after the presence AND). Beyond it the per-comparison win shrinks
+/// while the fill-side packing cost keeps growing, so callers fall back
+/// to the slotwise kernel.
+pub const PLANE_BITS_BUDGET: u32 = 16;
+
+/// The channel-id bit width of a universe whose largest channel is
+/// `max_channel`: the number of channel-bit planes [`pack_row`] needs.
+/// Zero only for an empty universe (channels are 1-indexed).
+pub fn plane_bits(max_channel: u64) -> u32 {
+    64 - max_channel.leading_zeros()
+}
+
+/// Words per plane for a `len`-slot row.
+pub fn plane_words(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+/// Packs `row` (channel per slot, `0` = no-meet sentinel) into
+/// `1 + nbits` planes of `words` words each, presence plane first:
+/// `out[w]` is presence, `out[(1 + b) * words + w]` is channel bit `b`.
+/// Slots beyond `row.len()` pack as absent, so partial tail blocks need
+/// no special casing on the resolve side.
+///
+/// # Panics
+///
+/// Debug-asserts that `row` fits `words` and every channel fits `nbits`;
+/// `out` must be exactly `(1 + nbits) * words` long.
+pub fn pack_row(row: &[u64], nbits: u32, words: usize, out: &mut [u64]) {
+    debug_assert!(row.len() <= words * 64, "row larger than the plane words");
+    assert_eq!(out.len(), (1 + nbits as usize) * words, "plane buffer size");
+    out.fill(0);
+    for (x, &c) in row.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        debug_assert!(
+            plane_bits(c) <= nbits,
+            "channel {c} wider than {nbits} planes"
+        );
+        let (w, bit) = (x / 64, 1u64 << (x % 64));
+        out[w] |= bit;
+        let mut v = c;
+        while v != 0 {
+            let b = v.trailing_zeros() as usize;
+            out[(1 + b) * words + w] |= bit;
+            v &= v - 1;
+        }
+    }
+}
+
+/// First slot where two rows packed by [`pack_row`] (same `nbits`,
+/// `words`) carry the same channel: per word, AND the presence planes,
+/// AND in the XNOR of every channel-bit plane (early-exiting once the
+/// word is dead), and extract the first surviving bit with
+/// `trailing_zeros` — 64 slots of the slotwise compare per word op.
+pub fn first_match(a: &[u64], b: &[u64], nbits: u32, words: usize) -> Option<usize> {
+    debug_assert_eq!(a.len(), (1 + nbits as usize) * words);
+    debug_assert_eq!(b.len(), (1 + nbits as usize) * words);
+    for w in 0..words {
+        let mut m = a[w] & b[w];
+        let mut p = words + w;
+        while m != 0 && p < a.len() {
+            m &= !(a[p] ^ b[p]);
+            p += words;
+        }
+        if m != 0 {
+            return Some(w * 64 + m.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The slotwise reference the planes must agree with.
+    fn naive_first_match(a: &[u64], b: &[u64]) -> Option<usize> {
+        a.iter().zip(b).position(|(&x, &y)| x != 0 && x == y)
+    }
+
+    fn packed(row: &[u64], nbits: u32, words: usize) -> Vec<u64> {
+        let mut out = vec![0u64; (1 + nbits as usize) * words];
+        pack_row(row, nbits, words, &mut out);
+        out
+    }
+
+    #[test]
+    fn plane_bits_is_the_channel_bit_width() {
+        assert_eq!(plane_bits(0), 0);
+        assert_eq!(plane_bits(1), 1);
+        assert_eq!(plane_bits(2), 2);
+        assert_eq!(plane_bits(3), 2);
+        assert_eq!(plane_bits(96), 7);
+        assert_eq!(plane_bits((1 << 16) - 1), 16);
+        assert_eq!(plane_bits(1 << 16), 17);
+        assert_eq!(plane_bits(u64::MAX), 64);
+    }
+
+    #[test]
+    fn pack_round_trips_through_the_planes() {
+        // Reading each slot's bits back out of the planes reconstructs
+        // the row exactly, including sentinel slots and a partial tail.
+        let row: Vec<u64> = (0..100u64).map(|x| (x * 37) % 13).collect();
+        let (nbits, words) = (4, plane_words(row.len()));
+        let planes = packed(&row, nbits, words);
+        for x in 0..words * 64 {
+            let (w, bit) = (x / 64, 1u64 << (x % 64));
+            let present = planes[w] & bit != 0;
+            let mut c = 0u64;
+            for b in 0..nbits as usize {
+                if planes[(1 + b) * words + w] & bit != 0 {
+                    c |= 1 << b;
+                }
+            }
+            let expected = row.get(x).copied().unwrap_or(0);
+            assert_eq!(present, expected != 0, "presence at slot {x}");
+            assert_eq!(c, expected, "channel at slot {x}");
+        }
+    }
+
+    #[test]
+    fn first_match_agrees_with_the_slotwise_reference() {
+        // A pseudo-random pair of rows with deliberate collisions,
+        // sentinels, and a non-word-aligned length.
+        let mut s = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for len in [1usize, 63, 64, 65, 200, 512] {
+            for _ in 0..20 {
+                let a: Vec<u64> = (0..len).map(|_| next() % 17).collect();
+                let b: Vec<u64> = (0..len).map(|_| next() % 17).collect();
+                let (nbits, words) = (plane_bits(16), plane_words(len));
+                let (pa, pb) = (packed(&a, nbits, words), packed(&b, nbits, words));
+                assert_eq!(
+                    first_match(&pa, &pb, nbits, words),
+                    naive_first_match(&a, &b),
+                    "len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_sentinels_never_match() {
+        // Both rows masked to 0 at the same slot (e.g. a shared blackout)
+        // must not read as a meeting — the presence plane gates it.
+        let a = [0u64, 5, 0, 3];
+        let b = [0u64, 4, 0, 3];
+        let (nbits, words) = (3, 1);
+        let (pa, pb) = (packed(&a, nbits, words), packed(&b, nbits, words));
+        assert_eq!(first_match(&pa, &pb, nbits, words), Some(3));
+    }
+
+    #[test]
+    fn tail_slots_beyond_the_row_stay_absent() {
+        // A 10-slot row in 1-word planes: slots 10..64 pack as absent, so
+        // a full-length partner cannot phantom-meet in the tail.
+        let short = [7u64; 10];
+        let long = [7u64; 64];
+        let (nbits, words) = (3, 1);
+        let ps = packed(&short, nbits, words);
+        let pl = packed(&long, nbits, words);
+        assert_eq!(first_match(&ps, &pl, nbits, words), Some(0));
+        let disjoint: Vec<u64> = (0..64).map(|x| if x < 10 { 1 } else { 7 }).collect();
+        let pd = packed(&disjoint, nbits, words);
+        assert_eq!(first_match(&ps, &pd, nbits, words), None);
+    }
+}

@@ -29,6 +29,8 @@
 //!   times-to-rendezvous, worst-case shift sweeps.
 //! * [`fault`] — deterministic fault injection: seeded per-epoch channel
 //!   outage masks and per-agent arrival/departure windows.
+//! * [`bitplane`] — log₂-coded bit-plane packing of channel rows, the
+//!   word-parallel pair kernel behind the multi-user arena engine.
 //!
 //! # Quickstart
 //!
@@ -52,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitplane;
 pub mod channel;
 pub mod compiled;
 pub mod fault;

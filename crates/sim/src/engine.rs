@@ -1,21 +1,25 @@
 //! The multi-agent discrete-time simulator: a shared-arena engine that
 //! fills every agent's schedule **once** per block and resolves all
-//! pending pairs over the shared read-only arena.
+//! pending pairs over the shared read-only block rows.
 //!
 //! # The shared block arena
 //!
-//! The engine advances time in blocks of `BLOCK` (512) slots. Each block is a
-//! two-phase bulk step on the work-stealing orchestrator
-//! ([`pool::run_two_phase`]):
+//! The engine advances time in blocks of `BLOCK` (512) slots. Each block
+//! is a barrier tree step on the work-stealing orchestrator
+//! ([`pool::run_tree_barrier`]):
 //!
-//! 1. **Fill** — every in-play agent's channels for the block are written
-//!    once into its row of a flat `n × BLOCK` arena, sharded into agent
-//!    chunks. Schedules are prepared once per run
+//! 1. **Fill** — every in-play agent's channels for the block are
+//!    computed once, sharded into agent chunks; each fill task *returns*
+//!    its chunk's rows as an owned buffer, which the expansion barrier
+//!    publishes read-only to every resolve task ([`pool::ParentOutputs`])
+//!    — no atomics, so the fill loops autovectorize and the one-thread
+//!    engine runs the identical plain-`&mut [u64]` code inline.
+//!    Schedules are prepared once per run
 //!    ([`PreparedSchedule::new_capped`], budgeted across the population)
 //!    and reused across every block. `0` marks not-yet-awake slots
 //!    (channels are 1-indexed, so the sentinel is unambiguous).
 //! 2. **Resolve** — pending pairs are resolved in parallel over the
-//!    shared arena, in one of two modes (see [`ResolveMode`]).
+//!    published rows, in one of two modes (see [`ResolveMode`]).
 //!
 //! The per-pair engine this replaces re-filled each agent's schedule once
 //! per *pair* it participated in — `O(pairs)` fills per block, ~500k
@@ -25,25 +29,31 @@
 //! # Pair-major vs bucket resolution
 //!
 //! *Pair-major* scans each pending pair's two rows — `O(pairs · BLOCK)`
-//! per block, unbeatable when pairs are scarce. When pending pairs vastly
+//! per block, unbeatable when pairs are scarce. When the universe fits
+//! the plane budget, pair-major blocks pack each row into **bit-planes**
+//! ([`rdv_core::bitplane`]): one presence plane plus one plane per
+//! channel-id bit, so a single word-wide AND/XNOR chain resolves 64
+//! slots of a pair comparison and `trailing_zeros` extracts the meeting
+//! slot branch-free. Universes past the budget (e.g. 2⁴⁰ coalition
+//! channels) keep the `u64`-per-slot rows. When pending pairs vastly
 //! outnumber agents, the engine instead builds a per-slot channel→agents
-//! bucket index from the arena and reads meetings straight out of the
+//! bucket index from the rows and reads meetings straight out of the
 //! buckets (two agents in one bucket *are* a meeting), which costs
 //! `O(agents · BLOCK + meetings)` — see [`ResolveMode`] for the
-//! crossover heuristic. Both modes compute the exact per-pair first
-//! meeting slot, so the report is bit-identical across modes and thread
-//! counts (`tests/multiuser_arena.rs` property-tests this against a
-//! slot-by-slot reference).
+//! crossover heuristic. Every mode and layout computes the exact
+//! per-pair first meeting slot, so the report is bit-identical across
+//! modes, layouts, and thread counts (`tests/multiuser_arena.rs`
+//! property-tests this against a slot-by-slot reference).
 
 use crate::algo::DynSchedule;
 use crate::pool::{self, ParallelConfig};
+use rdv_core::bitplane;
 use rdv_core::channel::ChannelSet;
 use rdv_core::compiled::PreparedSchedule;
 use rdv_core::fault::{FaultPlan, InPlayWindow};
 use rdv_core::schedule::Schedule;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Slots per arena block: large enough to amortize fills and task
 /// scheduling, small enough that the `n × BLOCK` arena of a 10k-agent
@@ -68,6 +78,14 @@ const COMPILE_BUDGET_SLOTS: u64 = 1 << 23;
 /// Public so density-aware consumers (the `bench_report` speedup gate)
 /// classify cells by the same threshold the engine uses.
 pub const BUCKET_CROSSOVER: usize = 16;
+
+/// [`ResolveMode::Auto`]'s crossover when the pair-major kernel runs on
+/// **bit-planes**: the packed kernel compares 64 slots per word op, so it
+/// stays ahead of the bucket scan to much denser workloads than the
+/// slotwise kernel's [`BUCKET_CROSSOVER`]. Measured on the clustered
+/// 512-agent bench the packed row scan and the bucket scan cost about the
+/// same near ~128 pending pairs per in-play agent.
+pub const PLANE_BUCKET_CROSSOVER: usize = 128;
 
 /// The bucket scan filters emissions through an `n(n−1)/2`-bit met-pair
 /// bitset; cap the population it is allocated for (64 MiB at the cap).
@@ -120,6 +138,26 @@ pub enum ResolveMode {
     BucketScan,
 }
 
+/// Row layout of pair-major blocks: whether the fill packs each agent's
+/// row into bit-planes ([`rdv_core::bitplane`]) for the word-parallel
+/// pair kernel.
+///
+/// Layout, like [`ResolveMode`], never changes the report — only how
+/// fast it is computed. `Slotwise` is kept overridable so the
+/// differential tests and the bench's bitplane-speedup baseline can pin
+/// the reference layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanePolicy {
+    /// Pack bit-planes whenever the block resolves pair-major and the
+    /// universe's channel-id width fits
+    /// [`bitplane::PLANE_BITS_BUDGET`]; wider universes keep the
+    /// slotwise rows automatically.
+    #[default]
+    Auto,
+    /// Always use the `u64`-per-slot rows (the reference layout).
+    Slotwise,
+}
+
 /// Full engine configuration: thread policy plus resolution mode.
 ///
 /// The default (auto threads, auto mode) is what [`Simulation::run`]
@@ -131,6 +169,10 @@ pub struct EngineConfig {
     /// Pair-resolution mode (kept overridable for tests and benches; the
     /// default adapts per block).
     pub mode: ResolveMode,
+    /// Row layout of pair-major blocks (kept overridable for the
+    /// differential tests and the bitplane-speedup baseline; the default
+    /// packs bit-planes whenever the universe fits the plane budget).
+    pub plane: PlanePolicy,
     /// Optional deterministic fault plan — per-epoch channel outage masks
     /// and per-agent arrival/departure windows. `None` (the default) runs
     /// the fault-free paper model; a quiet plan (both rates zero) is
@@ -273,6 +315,105 @@ fn set_bit(bits: &mut [u64], at: usize) {
     bits[at / 64] |= 1 << (at % 64);
 }
 
+/// How one block's filled rows are laid out inside their chunk buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowLayout {
+    /// One `u64` channel per slot — `len` words per agent row. The
+    /// layout the bucket scan gathers from (it needs channel *values*)
+    /// and the fallback for universes past the plane budget.
+    Slotwise,
+    /// Bit-planes: a presence plane plus `nbits` channel-bit planes of
+    /// `words` words each per agent row (see [`bitplane::pack_row`]).
+    Planes {
+        /// Channel-id bit width of the universe.
+        nbits: u32,
+        /// Words per plane (`len.div_ceil(64)`).
+        words: usize,
+    },
+}
+
+impl RowLayout {
+    /// Words each agent row occupies in its fill chunk for a `len`-slot
+    /// block.
+    fn row_words(self, len: usize) -> usize {
+        match self {
+            RowLayout::Slotwise => len,
+            RowLayout::Planes { nbits, words } => (1 + nbits as usize) * words,
+        }
+    }
+}
+
+/// Where a block's filled rows live: the one-thread engine's own chunk
+/// buffers, or the owned chunk buffers the fill barrier published
+/// ([`pool::ParentOutputs`]). Either way the rows are plain `&[u64]` —
+/// the resolve kernels never touch an atomic.
+#[derive(Clone, Copy)]
+enum RowChunks<'a> {
+    Seq(&'a [Vec<u64>]),
+    Barrier(pool::ParentOutputs<'a, Vec<u64>>),
+}
+
+/// Read-only access to every filled row of one block, whatever produced
+/// or laid them out.
+#[derive(Clone, Copy)]
+struct BlockRows<'a> {
+    chunks: RowChunks<'a>,
+    /// Agent index → (fill chunk, row index within the chunk). Entries
+    /// of agents outside the block's in-play set are stale and never
+    /// read (pending pairs only reference loaded agents).
+    locate: &'a [(u32, u32)],
+    row_words: usize,
+}
+
+impl<'a> BlockRows<'a> {
+    fn row(&self, ai: usize) -> &'a [u64] {
+        let (ci, k) = self.locate[ai];
+        let chunk: &'a [u64] = match self.chunks {
+            RowChunks::Seq(chunks) => &chunks[ci as usize],
+            RowChunks::Barrier(outputs) => outputs.get(ci as usize),
+        };
+        &chunk[k as usize * self.row_words..(k as usize + 1) * self.row_words]
+    }
+}
+
+/// Fills `row` (one slot per entry) with the channels an agent hops for
+/// the block starting at `block_start`, masked for presence: slots
+/// before the agent wakes or arrives, at or after it departs, and slots
+/// whose channel `plan` blacks out all become the no-meet sentinel `0`.
+///
+/// This is the one masking routine of the workspace: the arena fill
+/// (whose slotwise *and* bit-plane blocks pack exactly this row) and the
+/// per-pair reference both go through it, so the layouts cannot drift on
+/// fault semantics (`tests/fault_injection.rs` pins them against each
+/// other and a naive oracle).
+fn fill_masked_row<S: Schedule>(
+    schedule: &S,
+    wake: u64,
+    window: InPlayWindow,
+    plan: Option<&FaultPlan>,
+    block_start: u64,
+    row: &mut [u64],
+) {
+    let len = row.len();
+    let block_end = block_start + len as u64;
+    if wake >= block_end || window.arrive >= block_end || window.depart <= block_start {
+        row.fill(0);
+        return;
+    }
+    let awake_from = wake.max(block_start).max(window.arrive);
+    let lead = (awake_from - block_start) as usize;
+    row[..lead].fill(0);
+    schedule.fill_channels(awake_from - wake, &mut row[lead..]);
+    if let Some(p) = plan {
+        for (x, c) in row[lead..].iter_mut().enumerate() {
+            let t = awake_from + x as u64;
+            if t >= window.depart || !p.channel_available(*c, t) {
+                *c = 0;
+            }
+        }
+    }
+}
+
 /// A configured multi-agent simulation.
 pub struct Simulation {
     agents: Vec<Agent>,
@@ -400,8 +541,7 @@ impl Simulation {
             horizon,
             &EngineConfig {
                 parallel: *cfg,
-                mode: ResolveMode::Auto,
-                faults: None,
+                ..EngineConfig::default()
             },
         )
     }
@@ -484,20 +624,28 @@ impl Simulation {
                 prepared.push(PreparedSchedule::new_capped(&self.agents[i].schedule, cap));
             }
         }
-        let arena: Vec<AtomicU64> = std::iter::repeat_with(|| AtomicU64::new(0))
-            .take(n * BLOCK)
-            .collect();
         let max_channel = self
             .agents
             .iter()
             .map(|a| a.set.max_channel().get())
             .max()
             .unwrap_or(0);
+        // Bit-plane eligibility is a run-level fact: the universe's
+        // channel-id width either fits the plane budget or it does not
+        // (the 2⁴⁰-channel coalition universe stays slotwise). Which
+        // blocks actually pack planes is decided per block — the bucket
+        // scan gathers channel values, so only pair-major blocks do.
+        let nbits = bitplane::plane_bits(max_channel);
+        let planes_ok = cfg.plane == PlanePolicy::Auto && nbits <= bitplane::PLANE_BITS_BUDGET;
         let bucket_usable = n <= MAX_BUCKET_AGENTS && cfg.mode != ResolveMode::PairMajor;
         // Met-pair bitset, the bucket scan's emission filter; allocated
         // lazily on the first bucket block (backfilled from `entries` so
         // earlier pair-major meetings are not re-emitted).
         let mut met: Vec<u64> = Vec::new();
+        // Agent → (fill chunk, row offset) map, rebuilt per block from
+        // the block's fill chunks; hoisted so the allocation is paid
+        // once per run.
+        let mut locate: Vec<(u32, u32)> = vec![(0, 0); n];
 
         let mut block_start = 0u64;
         while block_start < horizon && !pending.is_empty() {
@@ -529,7 +677,17 @@ impl Simulation {
             let use_bucket = bucket_usable
                 && match cfg.mode {
                     ResolveMode::BucketScan => true,
-                    ResolveMode::Auto => pending.len() >= BUCKET_CROSSOVER * in_play.len(),
+                    ResolveMode::Auto => {
+                        // The packed pair kernel holds to much denser
+                        // workloads than the slotwise one, so its
+                        // crossover into the bucket scan sits higher.
+                        let crossover = if planes_ok {
+                            PLANE_BUCKET_CROSSOVER
+                        } else {
+                            BUCKET_CROSSOVER
+                        };
+                        pending.len() >= crossover * in_play.len()
+                    }
                     ResolveMode::PairMajor => false,
                 };
             if use_bucket && met.is_empty() {
@@ -538,56 +696,59 @@ impl Simulation {
                     set_bit(&mut met, pair_bit(i, j, n));
                 }
             }
+            let layout = if planes_ok && !use_bucket {
+                RowLayout::Planes {
+                    nbits,
+                    words: bitplane::plane_words(len),
+                }
+            } else {
+                RowLayout::Slotwise
+            };
+            let row_words = layout.row_words(len);
             let fill_tasks: Vec<&[u32]> = in_play
                 .chunks(pool::chunk_size(in_play.len(), threads))
                 .collect();
+            for (ci, chunk) in fill_tasks.iter().enumerate() {
+                for (k, &ai) in chunk.iter().enumerate() {
+                    locate[ai as usize] = (ci as u32, k as u32);
+                }
+            }
             let agents = &self.agents;
-            let (prepared, arena) = (&prepared, &arena);
+            let prepared = &prepared;
             let group_of = &group_of;
             let windows = &windows;
-            // Phase 1: each task fills its agents' arena rows for the
-            // block. Relaxed stores — the two-phase barrier publishes
-            // them to the resolve tasks. Under a fault plan, slots where
-            // the agent is out of play or its channel is blacked out are
-            // masked to the no-meet sentinel.
-            let fill = move |_idx: usize, chunk: &[u32]| {
+            let plan_ref = plan.as_ref();
+            // Phase 1: each fill task computes its agents' masked rows
+            // for the block and *returns* them as one owned buffer (in
+            // the block's layout) — the expansion barrier publishes the
+            // buffers read-only to every resolve task.
+            let fill_chunk = move |chunk: &[u32]| -> Vec<u64> {
+                let mut rows: Vec<u64> = Vec::with_capacity(chunk.len() * row_words);
                 let mut scratch = [0u64; BLOCK];
                 for &ai in chunk {
                     let ai = ai as usize;
                     let agent = &agents[ai];
-                    let row = &arena[ai * BLOCK..ai * BLOCK + len];
                     let window = windows.as_ref().map_or(InPlayWindow::ALWAYS, |w| w[ai]);
-                    if agent.wake >= block_end
-                        || window.arrive >= block_end
-                        || window.depart <= block_start
-                    {
-                        for slot in row {
-                            slot.store(0, Ordering::Relaxed);
+                    fill_masked_row(
+                        &prepared[group_of[ai]],
+                        agent.wake,
+                        window,
+                        plan_ref,
+                        block_start,
+                        &mut scratch[..len],
+                    );
+                    match layout {
+                        RowLayout::Planes { nbits, words } => {
+                            let base = rows.len();
+                            rows.resize(base + row_words, 0);
+                            bitplane::pack_row(&scratch[..len], nbits, words, &mut rows[base..]);
                         }
-                        continue;
-                    }
-                    let awake_from = agent.wake.max(block_start).max(window.arrive);
-                    let lead = (awake_from - block_start) as usize;
-                    prepared[group_of[ai]]
-                        .fill_channels(awake_from - agent.wake, &mut scratch[lead..len]);
-                    for slot in &row[..lead] {
-                        slot.store(0, Ordering::Relaxed);
-                    }
-                    if let Some(p) = plan {
-                        for (x, (slot, &c)) in
-                            row[lead..].iter().zip(&scratch[lead..len]).enumerate()
-                        {
-                            let t = awake_from + x as u64;
-                            let masked = t >= window.depart || !p.channel_available(c, t);
-                            slot.store(if masked { 0 } else { c }, Ordering::Relaxed);
-                        }
-                    } else {
-                        for (slot, &c) in row[lead..].iter().zip(&scratch[lead..len]) {
-                            slot.store(c, Ordering::Relaxed);
-                        }
+                        RowLayout::Slotwise => rows.extend_from_slice(&scratch[..len]),
                     }
                 }
+                rows
             };
+            let locate_ref = &locate;
             if use_bucket {
                 let slot_chunk = pool::chunk_size(len, threads);
                 let slot_tasks: Vec<Range<usize>> = (0..len)
@@ -595,27 +756,71 @@ impl Simulation {
                     .map(|lo| lo..(lo + slot_chunk).min(len))
                     .collect();
                 let (met_ref, in_play_ref) = (&met, &in_play);
-                let found: Vec<Vec<(u32, u32, u64)>> = pool::run_two_phase(
-                    &cfg.parallel,
-                    fill_tasks,
-                    slot_tasks,
-                    fill,
-                    move |_idx, slots| {
-                        bucket_scan(
-                            arena,
-                            in_play_ref,
-                            met_ref,
-                            n,
-                            max_channel,
-                            slots,
-                            block_start,
-                        )
-                    },
-                );
+                let found: Vec<(u32, u32, u64)> = if threads <= 1 {
+                    // One thread: fill and resolve inline through plain
+                    // slices — no pool, no barrier, no atomics.
+                    let chunk_rows: Vec<Vec<u64>> =
+                        fill_tasks.iter().map(|&chunk| fill_chunk(chunk)).collect();
+                    let rows = BlockRows {
+                        chunks: RowChunks::Seq(&chunk_rows),
+                        locate: locate_ref,
+                        row_words,
+                    };
+                    slot_tasks
+                        .into_iter()
+                        .flat_map(|slots| {
+                            bucket_scan(
+                                &rows,
+                                in_play_ref,
+                                met_ref,
+                                n,
+                                max_channel,
+                                slots,
+                                block_start,
+                            )
+                        })
+                        .collect()
+                } else {
+                    enum Parent<'a> {
+                        Fill(&'a [u32]),
+                        FanOut(Vec<Range<usize>>),
+                    }
+                    let parents: Vec<Parent> = fill_tasks
+                        .iter()
+                        .map(|&chunk| Parent::Fill(chunk))
+                        .chain(std::iter::once(Parent::FanOut(slot_tasks)))
+                        .collect();
+                    let mut out = pool::run_tree_barrier(
+                        parents,
+                        &ParallelConfig::with_threads(threads),
+                        |_pi, p| match p {
+                            Parent::Fill(chunk) => (fill_chunk(chunk), Vec::new()),
+                            Parent::FanOut(tasks) => (Vec::new(), tasks),
+                        },
+                        |_path, slots, outputs| {
+                            let rows = BlockRows {
+                                chunks: RowChunks::Barrier(outputs),
+                                locate: locate_ref,
+                                row_words,
+                            };
+                            bucket_scan(
+                                &rows,
+                                in_play_ref,
+                                met_ref,
+                                n,
+                                max_channel,
+                                slots,
+                                block_start,
+                            )
+                        },
+                    );
+                    let (_, results) = out.pop().expect("the fan-out parent is always submitted");
+                    results.into_iter().flatten().collect()
+                };
                 // Tasks cover ascending slot ranges and emit in ascending
                 // slot order, so the first record of a pair is its first
                 // meeting of the block.
-                for (i, j, t) in found.into_iter().flatten() {
+                for (i, j, t) in found {
                     let (i, j) = (i as usize, j as usize);
                     let bit = pair_bit(i, j, n);
                     if !test_bit(&met, bit) {
@@ -630,29 +835,73 @@ impl Simulation {
                 let pair_tasks: Vec<&[(usize, usize)]> = pending
                     .chunks(pool::chunk_size(pending.len(), threads))
                     .collect();
-                let results: Vec<Vec<Option<u64>>> = pool::run_two_phase(
-                    &cfg.parallel,
-                    fill_tasks,
-                    pair_tasks,
-                    fill,
-                    move |_idx, chunk: &[(usize, usize)]| {
-                        chunk
-                            .iter()
-                            .map(|&(i, j)| {
-                                let ri = &arena[i * BLOCK..i * BLOCK + len];
-                                let rj = &arena[j * BLOCK..j * BLOCK + len];
-                                (0..len).find_map(|x| {
-                                    let c = ri[x].load(Ordering::Relaxed);
-                                    if c != 0 && c == rj[x].load(Ordering::Relaxed) {
+                // The pair kernel: word-parallel over the planes, or the
+                // slot-at-a-time scan on slotwise rows. Either way the
+                // rows are plain slices the compiler can vectorize over.
+                let resolve_chunk = |rows: &BlockRows<'_>, chunk: &[(usize, usize)]| {
+                    chunk
+                        .iter()
+                        .map(|&(i, j)| {
+                            let (ri, rj) = (rows.row(i), rows.row(j));
+                            match layout {
+                                RowLayout::Planes { nbits, words } => {
+                                    bitplane::first_match(ri, rj, nbits, words)
+                                        .map(|x| block_start + x as u64)
+                                }
+                                RowLayout::Slotwise => (0..len).find_map(|x| {
+                                    let c = ri[x];
+                                    if c != 0 && c == rj[x] {
                                         Some(block_start + x as u64)
                                     } else {
                                         None
                                     }
-                                })
-                            })
-                            .collect()
-                    },
-                );
+                                }),
+                            }
+                        })
+                        .collect::<Vec<Option<u64>>>()
+                };
+                let results: Vec<Vec<Option<u64>>> = if threads <= 1 {
+                    // One thread: fill and resolve inline through plain
+                    // slices — no pool, no barrier, no atomics.
+                    let chunk_rows: Vec<Vec<u64>> =
+                        fill_tasks.iter().map(|&chunk| fill_chunk(chunk)).collect();
+                    let rows = BlockRows {
+                        chunks: RowChunks::Seq(&chunk_rows),
+                        locate: locate_ref,
+                        row_words,
+                    };
+                    pair_tasks
+                        .iter()
+                        .map(|&chunk| resolve_chunk(&rows, chunk))
+                        .collect()
+                } else {
+                    enum Parent<'a> {
+                        Fill(&'a [u32]),
+                        FanOut(Vec<&'a [(usize, usize)]>),
+                    }
+                    let parents: Vec<Parent> = fill_tasks
+                        .iter()
+                        .map(|&chunk| Parent::Fill(chunk))
+                        .chain(std::iter::once(Parent::FanOut(pair_tasks)))
+                        .collect();
+                    let mut out = pool::run_tree_barrier(
+                        parents,
+                        &ParallelConfig::with_threads(threads),
+                        |_pi, p| match p {
+                            Parent::Fill(chunk) => (fill_chunk(chunk), Vec::new()),
+                            Parent::FanOut(tasks) => (Vec::new(), tasks),
+                        },
+                        |_path, chunk, outputs| {
+                            let rows = BlockRows {
+                                chunks: RowChunks::Barrier(outputs),
+                                locate: locate_ref,
+                                row_words,
+                            };
+                            resolve_chunk(&rows, chunk)
+                        },
+                    );
+                    out.pop().expect("the fan-out parent is always submitted").1
+                };
                 let mut outcomes = results.into_iter().flatten();
                 let track_met = !met.is_empty();
                 pending.retain(|&(i, j)| {
@@ -765,11 +1014,14 @@ impl Simulation {
         let mut t = start;
         while t < end {
             let len = (end - t).min(BLOCK as u64) as usize;
-            ai.schedule.fill_channels(t - ai.wake, &mut bufi[..len]);
-            aj.schedule.fill_channels(t - aj.wake, &mut bufj[..len]);
+            fill_masked_row(&ai.schedule, ai.wake, wi, plan, t, &mut bufi[..len]);
+            fill_masked_row(&aj.schedule, aj.wake, wj, plan, t, &mut bufj[..len]);
             for x in 0..len {
+                // Masked slots are 0 in *both* buffers, so a shared
+                // blackout cannot read as a meeting — the same sentinel
+                // contract the arena rows (and the presence plane) carry.
                 let c = bufi[x];
-                if c == bufj[x] && plan.is_none_or(|p| p.channel_available(c, t + x as u64)) {
+                if c != 0 && c == bufj[x] {
                     return Some(t + x as u64);
                 }
             }
@@ -839,17 +1091,19 @@ impl<'a> PairFilter<'a> {
 }
 
 /// The bucket resolve task: per slot of `slots`, groups the in-play
-/// agents' arena entries by channel and emits every co-bucketed pair not
+/// agents' row entries by channel and emits every co-bucketed pair not
 /// yet met (`met` filters pairs from earlier blocks, `seen` dedupes
 /// within the task, keeping the earliest slot since slots ascend).
 ///
-/// The gather is agent-major — each agent's row is read sequentially —
-/// because reading the arena column-wise would take a cache miss per
-/// agent per slot. Grouping indexes straight into per-channel buckets
-/// when the spectrum is small enough to preallocate (the common
-/// population case) and sorts otherwise.
+/// `rows` must be slotwise — the gather needs channel *values*, which is
+/// why bucket blocks never pack bit-planes. It is agent-major — each
+/// agent's row is read sequentially — because reading the block
+/// column-wise would take a cache miss per agent per slot. Grouping
+/// indexes straight into per-channel buckets when the spectrum is small
+/// enough to preallocate (the common population case) and sorts
+/// otherwise.
 fn bucket_scan(
-    arena: &[AtomicU64],
+    rows: &BlockRows<'_>,
     in_play: &[u32],
     met: &[u64],
     n: usize,
@@ -864,9 +1118,8 @@ fn bucket_scan(
         .map(|_| Vec::with_capacity(in_play.len()))
         .collect();
     for &ai in in_play {
-        let row = &arena[ai as usize * BLOCK + slots.start..ai as usize * BLOCK + slots.end];
-        for (x, slot) in row.iter().enumerate() {
-            let c = slot.load(Ordering::Relaxed);
+        let row = &rows.row(ai as usize)[slots.start..slots.end];
+        for (x, &c) in row.iter().enumerate() {
             if c != 0 {
                 per_slot[x].push((c, ai));
             }
@@ -1061,6 +1314,7 @@ mod tests {
                 let cfg = EngineConfig {
                     parallel: ParallelConfig::with_threads(threads),
                     mode,
+                    plane: PlanePolicy::Auto,
                     faults: None,
                 };
                 assert_eq!(
@@ -1157,6 +1411,7 @@ mod tests {
                 let cfg = EngineConfig {
                     parallel: ParallelConfig::with_threads(threads),
                     mode,
+                    plane: PlanePolicy::Auto,
                     faults: None,
                 };
                 assert_eq!(
@@ -1268,6 +1523,7 @@ mod tests {
         let base_cfg = EngineConfig {
             parallel: ParallelConfig::with_threads(1),
             mode: ResolveMode::Auto,
+            plane: PlanePolicy::Auto,
             faults: Some(plan),
         };
         let faulted = sim.run_engine(horizon, &base_cfg);
@@ -1294,6 +1550,7 @@ mod tests {
                 let cfg = EngineConfig {
                     parallel: ParallelConfig::with_threads(threads),
                     mode,
+                    plane: PlanePolicy::Auto,
                     faults: Some(plan),
                 };
                 assert_eq!(
@@ -1324,6 +1581,7 @@ mod tests {
         let cfg = EngineConfig {
             parallel: ParallelConfig::with_threads(2),
             mode: ResolveMode::Auto,
+            plane: PlanePolicy::Auto,
             faults: Some(plan),
         };
         let report = sim.run_engine(horizon, &cfg);

@@ -8,15 +8,16 @@
 //!   random `k`-subsets, clustered spectrum, coalition (tiny sets in a huge
 //!   universe), symmetric.
 //! * [`engine`] — the multi-agent simulator: a shared-arena engine that
-//!   fills each agent's schedule once per block and resolves all pending
-//!   pairs over the shared arena, with a density-adaptive bucket-scan
-//!   resolution mode for dense populations.
+//!   fills each agent's schedule once per block (bit-plane-packed rows on
+//!   plane-eligible universes) and resolves all pending pairs over the
+//!   shared arena, with a density-adaptive bucket-scan resolution mode
+//!   for dense populations.
 //! * [`pool`] — the work-stealing parallel orchestrator: deterministic
 //!   task-indexed sharding over the vendored crossbeam deques, the
 //!   general task-tree API (`run_tree`) nested sweeps submit whole grids
-//!   through, and its depth-2 barrier special case (`run_two_phase`)
-//!   behind the arena engine, with bit-identical results at every thread
-//!   count.
+//!   through, and its barrier variant (`run_tree_barrier`) behind the
+//!   arena engine's fill/resolve split, with bit-identical results at
+//!   every thread count.
 //! * [`sweep`] — pairwise worst/mean time-to-rendezvous sweeps over shifts
 //!   and seeds, submitted to [`pool`] as task trees (cells are parents,
 //!   `(shift × seed)` chunks are children).
@@ -36,7 +37,8 @@ pub mod workload;
 
 pub use algo::Algorithm;
 pub use engine::{
-    EngineConfig, MeetingMap, MeetingReport, MissCause, MissedPair, ResolveMode, Simulation,
+    EngineConfig, MeetingMap, MeetingReport, MissCause, MissedPair, PlanePolicy, ResolveMode,
+    Simulation,
 };
 pub use pool::{CancelToken, ParallelConfig, TaskPanic, TreePath};
 pub use rdv_core::fault::{FaultPlan, FaultProfile, InPlayWindow};

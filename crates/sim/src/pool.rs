@@ -17,10 +17,12 @@
 //!   expanding *on a worker* into child tasks that are scheduled across
 //!   the same pool, so stealing crosses parent boundaries (a nested sweep
 //!   submits its whole grid at once instead of one pool per cell);
-//! * [`run_two_phase`] — the depth-2 barrier special case of the tree
-//!   (every phase-a task a childless parent, one fan-out parent holding
-//!   phase b, the expansion barrier as the phase boundary), kept as the
-//!   scoped bulk API of the shared-arena engines.
+//! * [`run_tree_barrier`] — the same tree with an **expansion barrier**:
+//!   every parent expands (and publishes its owned output) before any
+//!   child runs, and every child reads all parent outputs through
+//!   [`ParentOutputs`] — the producer/consumer bulk step of the
+//!   shared-arena engines, with owned published values instead of a
+//!   shared atomic arena.
 //!
 //! # Determinism
 //!
@@ -302,33 +304,26 @@ where
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
-/// The shared scheduler behind [`run_tree`] and [`run_two_phase`]: one
-/// pool of `threads` workers draining a parent injector and a child
-/// injector with the [`find_task`] stealing discipline.
+/// The eager scheduler behind [`run_tree`]: one pool of `threads` workers
+/// draining a parent injector and a child injector with the [`find_task`]
+/// stealing discipline.
 ///
-/// Two scheduling modes:
+/// Children become stealable the moment their parent expands, so a slow
+/// parent never serializes its siblings' children. Termination is
+/// certified by a pending-task count (queues can be momentarily empty
+/// while a sibling is about to push freshly expanded children), with a
+/// poison flag releasing the spin if a worker dies mid-task.
+/// [`run_tree_barrier`] is the sibling scheduler that *does* interpose an
+/// expansion barrier between the levels.
 ///
-/// * **eager** (`barrier == false`) — children become stealable the
-///   moment their parent expands, so a slow parent never serializes its
-///   siblings' children. Termination is certified by a pending-task
-///   count (queues can be momentarily empty while a sibling is about to
-///   push freshly expanded children), with a poison flag releasing the
-///   spin if a worker dies mid-task.
-/// * **barrier** (`barrier == true`) — every expansion completes before
-///   any child runs, with the [`Arrival`] count as the wave boundary; its
-///   release/acquire ordering publishes every expansion-side write to
-///   every child. This is the two-phase bulk semantics of the arena
-///   engines.
-///
-/// With one thread both modes collapse to the literal sequential nested
-/// loops — the reference semantics `tests/task_tree.rs` property-tests
-/// the parallel runs against.
+/// With one thread this collapses to the literal sequential nested loops
+/// — the reference semantics `tests/task_tree.rs` property-tests the
+/// parallel runs against.
 fn run_tree_impl<P, PR, C, R, E, F>(
     threads: usize,
     parents: Vec<P>,
     expand: &E,
     child: &F,
-    barrier: bool,
 ) -> Vec<(PR, Vec<R>)>
 where
     P: Send,
@@ -373,14 +368,13 @@ where
     let workers_c: Vec<Worker<(TreePath, C)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
     let stealers_c: Vec<Stealer<(TreePath, C)>> = workers_c.iter().map(Worker::stealer).collect();
     let pending = AtomicUsize::new(n_parents);
-    let arrivals = AtomicUsize::new(0);
     let poisoned = AtomicBool::new(false);
 
     type Rows<PR, R> = (Vec<(usize, PR)>, Vec<(TreePath, R)>);
     let (mut parent_rows, mut child_rows): Rows<PR, R> = crossbeam::scope(|scope| {
         let (inj_p, inj_c) = (&inj_p, &inj_c);
         let (stealers_p, stealers_c) = (&stealers_p, &stealers_c);
-        let (pending, arrivals, poisoned) = (&pending, &arrivals, &poisoned);
+        let (pending, poisoned) = (&pending, &poisoned);
         let handles: Vec<_> = workers_p
             .into_iter()
             .zip(workers_c)
@@ -390,10 +384,15 @@ where
                     let _poison = PoisonOnPanic(poisoned);
                     let mut parent_out: Vec<(usize, PR)> = Vec::new();
                     let mut child_out: Vec<(TreePath, R)> = Vec::new();
-                    if barrier {
-                        let mut arrival = Arrival::new(arrivals);
-                        while let Some((pi, p)) = find_task(me, &wp, inj_p, stealers_p) {
+                    let mut idle_rounds = 0u32;
+                    loop {
+                        if let Some((pi, p)) = find_task(me, &wp, inj_p, stealers_p) {
                             let (pr, kids) = expand(pi, p);
+                            // Registering the children before
+                            // retiring their parent keeps the
+                            // pending count from touching zero
+                            // while work remains unscheduled.
+                            pending.fetch_add(kids.len(), Ordering::AcqRel);
                             for (ci, c) in kids.into_iter().enumerate() {
                                 inj_c.push((
                                     TreePath {
@@ -404,67 +403,30 @@ where
                                 ));
                             }
                             parent_out.push((pi, pr));
+                            pending.fetch_sub(1, Ordering::AcqRel);
+                            idle_rounds = 0;
+                            continue;
                         }
-                        // A worker arrives only once its own deque is
-                        // drained and it holds no task, so
-                        // `arrivals == threads` certifies every
-                        // expansion has completed (and pushed its
-                        // children). Expansions are short (one block
-                        // of bulk work), so a yielding spin outlasts
-                        // nothing worth parking for.
-                        arrival.arrive();
-                        while arrivals.load(Ordering::Acquire) < threads {
-                            std::thread::yield_now();
-                        }
-                        while let Some((path, c)) = find_task(me, &wc, inj_c, stealers_c) {
+                        if let Some((path, c)) = find_task(me, &wc, inj_c, stealers_c) {
                             child_out.push((path, child(path, c)));
+                            pending.fetch_sub(1, Ordering::AcqRel);
+                            idle_rounds = 0;
+                            continue;
                         }
-                    } else {
-                        let mut idle_rounds = 0u32;
-                        loop {
-                            if let Some((pi, p)) = find_task(me, &wp, inj_p, stealers_p) {
-                                let (pr, kids) = expand(pi, p);
-                                // Registering the children before
-                                // retiring their parent keeps the
-                                // pending count from touching zero
-                                // while work remains unscheduled.
-                                pending.fetch_add(kids.len(), Ordering::AcqRel);
-                                for (ci, c) in kids.into_iter().enumerate() {
-                                    inj_c.push((
-                                        TreePath {
-                                            parent: pi,
-                                            child: ci,
-                                        },
-                                        c,
-                                    ));
-                                }
-                                parent_out.push((pi, pr));
-                                pending.fetch_sub(1, Ordering::AcqRel);
-                                idle_rounds = 0;
-                                continue;
-                            }
-                            if let Some((path, c)) = find_task(me, &wc, inj_c, stealers_c) {
-                                child_out.push((path, child(path, c)));
-                                pending.fetch_sub(1, Ordering::AcqRel);
-                                idle_rounds = 0;
-                                continue;
-                            }
-                            if pending.load(Ordering::Acquire) == 0
-                                || poisoned.load(Ordering::Acquire)
-                            {
-                                break;
-                            }
-                            // Idle back-off: spin-yield while a refill
-                            // is likely imminent, then nap so starved
-                            // workers (e.g. more workers than cores)
-                            // stop taxing the queues the busy ones are
-                            // pushing through.
-                            idle_rounds += 1;
-                            if idle_rounds < 64 {
-                                std::thread::yield_now();
-                            } else {
-                                std::thread::sleep(std::time::Duration::from_micros(20));
-                            }
+                        if pending.load(Ordering::Acquire) == 0 || poisoned.load(Ordering::Acquire)
+                        {
+                            break;
+                        }
+                        // Idle back-off: spin-yield while a refill
+                        // is likely imminent, then nap so starved
+                        // workers (e.g. more workers than cores)
+                        // stop taxing the queues the busy ones are
+                        // pushing through.
+                        idle_rounds += 1;
+                        if idle_rounds < 64 {
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::sleep(std::time::Duration::from_micros(20));
                         }
                     }
                     (parent_out, child_out)
@@ -514,9 +476,9 @@ where
 /// stream from the `(parent, child)` path via [`TreePath::stream_seed`].
 ///
 /// Children become stealable the moment their parent expands (no barrier
-/// between levels); [`run_two_phase`] is the depth-2 special case that
-/// *does* interpose a barrier, for producer/consumer phases over shared
-/// memory.
+/// between levels); [`run_tree_barrier`] is the variant that *does*
+/// interpose a barrier and hands every child the published parent
+/// outputs, for producer/consumer phases.
 ///
 /// A single-parent forest degenerates to a flat run: the parent expands
 /// on the caller's thread and the children go through [`run_indexed`],
@@ -559,72 +521,213 @@ where
         });
         return vec![(pr, rs)];
     }
-    run_tree_impl(cfg.requested_threads(), parents, &expand, &child, false)
+    run_tree_impl(cfg.requested_threads(), parents, &expand, &child)
 }
 
-/// The scoped two-phase bulk step of the shared-arena engines: runs every
-/// `phase_a` task, waits at a **barrier** until all of them have finished
-/// on every worker, then runs every `phase_b` task and returns the
-/// phase-b results in task order.
+/// The parent outputs of a [`run_tree_barrier`] submission, as seen by a
+/// child task: a read-only window over every parent's expansion output,
+/// published by the barrier before any child runs.
 ///
-/// This is the depth-2 special case of the task tree ([`run_tree`]), run
-/// in barrier mode: every phase-a task is a childless parent, one final
-/// fan-out parent carries the phase-b children, and the expansion barrier
-/// is the phase boundary. Both phases work-steal on **one** set of worker
-/// threads spawned once — the barrier is an atomic arrival count, not a
-/// join — so a caller iterating fill/resolve steps per block pays one
-/// spawn per block, not two. The intended shape is a producer/consumer
-/// pair over shared memory: `a` publishes into a shared structure (e.g.
-/// relaxed stores into an `AtomicU64` arena), `b` reads it; the barrier's
-/// release/acquire ordering makes every phase-a write visible to every
-/// phase-b task.
+/// This is how the shared-arena engines hand a block of filled channel
+/// rows from the fill wave to the resolve wave without a shared mutable
+/// arena: each fill parent *returns* its rows as an owned value, the
+/// barrier publishes them, and every resolve child reads any parent's
+/// rows through [`Self::get`] — no atomics, no `unsafe`, and the borrows
+/// live as long as the submission (`'a`), so children can keep slices
+/// into any parent's output for their whole run.
+pub struct ParentOutputs<'a, PR> {
+    slots: &'a [std::sync::OnceLock<PR>],
+}
+
+impl<PR> Clone for ParentOutputs<'_, PR> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<PR> Copy for ParentOutputs<'_, PR> {}
+
+impl<'a, PR> ParentOutputs<'a, PR> {
+    /// The expansion output of parent `parent` (submission order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of range. Inside a [`run_tree_barrier`]
+    /// child every in-range slot is published; an unpublished slot can
+    /// only be observed while a sibling parent's panic is already
+    /// propagating, and panics too.
+    pub fn get(&self, parent: usize) -> &'a PR {
+        self.slots[parent]
+            .get()
+            .expect("parent output published by the expansion barrier")
+    }
+
+    /// Number of parents in the submission.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the submission had no parents.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// [`run_tree`] with an **expansion barrier**: every parent expands — and
+/// its output value is published — before any child runs, and every child
+/// receives a [`ParentOutputs`] window over *all* parent outputs alongside
+/// its task.
 ///
-/// `phase_a` and `phase_b` are independent task lists — their lengths
-/// need not match. With one effective thread both phases run inline
-/// sequentially, which is the reference semantics the parallel runs are
-/// tested against.
+/// This is the producer/consumer bulk step of the shared-arena engines:
+/// fill parents return their block's channel rows as owned values, the
+/// barrier publishes them, resolve children read any row they need. Both
+/// waves work-steal on **one** set of worker threads spawned once — the
+/// barrier is an atomic arrival count, not a join — so a caller iterating
+/// fill/resolve steps per block pays one spawn per block, not two. The
+/// arrival count's release/acquire ordering (and the `OnceLock`
+/// publication) makes every expansion-side value visible to every child.
+///
+/// Returns, for every parent in **submission order**, its expansion
+/// output and its children's results in **child order**, exactly like
+/// [`run_tree`]; with one effective thread the two waves run inline
+/// sequentially (all expansions, then all children), which is the
+/// reference semantics the parallel runs are tested against.
 ///
 /// # Panics
 ///
-/// Panics if a worker panics (the task panic propagates at scope join; a
-/// phase-a panic releases the barrier via a drop guard rather than
+/// Panics if a worker panics (the task panic propagates at scope join; an
+/// expansion panic releases the barrier via a drop guard rather than
 /// deadlocking the siblings).
-pub fn run_two_phase<TA, TB, R, FA, FB>(
+pub fn run_tree_barrier<P, PR, C, R, E, F>(
+    parents: Vec<P>,
     cfg: &ParallelConfig,
-    phase_a: Vec<TA>,
-    phase_b: Vec<TB>,
-    a: FA,
-    b: FB,
-) -> Vec<R>
+    expand: E,
+    child: F,
+) -> Vec<(PR, Vec<R>)>
 where
-    TA: Send,
-    TB: Send,
+    P: Send,
+    PR: Send + Sync,
+    C: Send,
     R: Send,
-    FA: Fn(usize, TA) + Sync,
-    FB: Fn(usize, TB) -> R + Sync,
+    E: Fn(usize, P) -> (PR, Vec<C>) + Sync,
+    F: Fn(TreePath, C, ParentOutputs<'_, PR>) -> R + Sync,
 {
-    enum Parent<TA, TB> {
-        A(usize, TA),
-        FanOut(Vec<TB>),
+    use std::sync::OnceLock;
+
+    let n_parents = parents.len();
+    if n_parents == 0 {
+        return Vec::new();
     }
-    let threads = cfg.effective_threads(phase_a.len().max(phase_b.len()));
-    let parents: Vec<Parent<TA, TB>> = phase_a
-        .into_iter()
-        .enumerate()
-        .map(|(i, t)| Parent::A(i, t))
-        .chain(std::iter::once(Parent::FanOut(phase_b)))
-        .collect();
-    let expand = |_pi: usize, p: Parent<TA, TB>| match p {
-        Parent::A(i, t) => {
-            a(i, t);
-            ((), Vec::new())
+    let slots: Vec<OnceLock<PR>> = (0..n_parents).map(|_| OnceLock::new()).collect();
+    let threads = cfg.requested_threads();
+
+    let mut child_rows: Vec<(TreePath, R)> = if threads <= 1 {
+        // The sequential reference: expand *all* parents first (the
+        // barrier semantics — children may read any parent's output),
+        // then run all children.
+        let mut kid_lists: Vec<Vec<C>> = Vec::with_capacity(n_parents);
+        for (pi, p) in parents.into_iter().enumerate() {
+            let (pr, kids) = expand(pi, p);
+            if slots[pi].set(pr).is_err() {
+                unreachable!("parent {pi} expanded twice");
+            }
+            kid_lists.push(kids);
         }
-        Parent::FanOut(ts) => ((), ts),
+        let outputs = ParentOutputs { slots: &slots };
+        let mut rows = Vec::new();
+        for (pi, kids) in kid_lists.into_iter().enumerate() {
+            for (ci, c) in kids.into_iter().enumerate() {
+                let path = TreePath {
+                    parent: pi,
+                    child: ci,
+                };
+                rows.push((path, child(path, c, outputs)));
+            }
+        }
+        rows
+    } else {
+        let inj_p = Injector::new();
+        for task in parents.into_iter().enumerate() {
+            inj_p.push(task);
+        }
+        let inj_c: Injector<(TreePath, C)> = Injector::new();
+        let workers_p: Vec<Worker<(usize, P)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers_p: Vec<Stealer<(usize, P)>> = workers_p.iter().map(Worker::stealer).collect();
+        let workers_c: Vec<Worker<(TreePath, C)>> =
+            (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers_c: Vec<Stealer<(TreePath, C)>> =
+            workers_c.iter().map(Worker::stealer).collect();
+        let arrivals = AtomicUsize::new(0);
+
+        crossbeam::scope(|scope| {
+            let (inj_p, inj_c) = (&inj_p, &inj_c);
+            let (stealers_p, stealers_c) = (&stealers_p, &stealers_c);
+            let (arrivals, slots) = (&arrivals, &slots[..]);
+            let (expand, child) = (&expand, &child);
+            let handles: Vec<_> = workers_p
+                .into_iter()
+                .zip(workers_c)
+                .enumerate()
+                .map(|(me, (wp, wc))| {
+                    scope.spawn(move |_| {
+                        let mut arrival = Arrival::new(arrivals);
+                        while let Some((pi, p)) = find_task(me, &wp, inj_p, stealers_p) {
+                            let (pr, kids) = expand(pi, p);
+                            for (ci, c) in kids.into_iter().enumerate() {
+                                inj_c.push((
+                                    TreePath {
+                                        parent: pi,
+                                        child: ci,
+                                    },
+                                    c,
+                                ));
+                            }
+                            if slots[pi].set(pr).is_err() {
+                                unreachable!("parent {pi} expanded twice");
+                            }
+                        }
+                        // A worker arrives only once the parent queues
+                        // were observed drained and it holds no task, so
+                        // `arrivals == threads` certifies every expansion
+                        // has completed, pushed its children, and
+                        // published its output. Expansions are short (one
+                        // block of bulk work), so a yielding spin outlasts
+                        // nothing worth parking for.
+                        arrival.arrive();
+                        while arrivals.load(Ordering::Acquire) < threads {
+                            std::thread::yield_now();
+                        }
+                        let outputs = ParentOutputs { slots };
+                        let mut child_out: Vec<(TreePath, R)> = Vec::new();
+                        while let Some((path, c)) = find_task(me, &wc, inj_c, stealers_c) {
+                            child_out.push((path, child(path, c, outputs)));
+                        }
+                        child_out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("barrier tree worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
     };
-    let child = |path: TreePath, t: TB| b(path.child, t);
-    let mut out = run_tree_impl(threads, parents, &expand, &child, true);
-    let (_, results) = out.pop().expect("the fan-out parent is always submitted");
-    results
+
+    child_rows.sort_unstable_by_key(|&(path, _)| (path.parent, path.child));
+    let mut out: Vec<(PR, Vec<R>)> = slots
+        .into_iter()
+        .map(|slot| {
+            let pr = slot
+                .into_inner()
+                .expect("every parent published through the barrier");
+            (pr, Vec::new())
+        })
+        .collect();
+    for (path, r) in child_rows {
+        out[path.parent].1.push(r);
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -1050,74 +1153,95 @@ mod tests {
     }
 
     #[test]
-    fn two_phase_sees_every_fill_before_any_resolve() {
-        use std::sync::atomic::AtomicU64;
-        // Phase a publishes i+1 into cell i; phase b tasks each read the
-        // whole arena. The barrier guarantees no resolve observes a hole.
+    fn barrier_publishes_every_fill_before_any_resolve() {
+        // Fill parents 0..97 each publish i+1 as their owned output; a
+        // final fan-out parent carries 33 resolve children that each sum
+        // the whole window. The barrier guarantees no child observes an
+        // unpublished slot.
+        enum P {
+            Fill(u64),
+            FanOut,
+        }
         for threads in [1usize, 2, 8] {
-            let cells: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
-            let fills: Vec<usize> = (0..cells.len()).collect();
-            let reads: Vec<usize> = (0..33).collect();
-            let sums = run_two_phase(
+            let parents: Vec<P> = (0..97u64)
+                .map(P::Fill)
+                .chain(std::iter::once(P::FanOut))
+                .collect();
+            let out = run_tree_barrier(
+                parents,
                 &ParallelConfig::with_threads(threads),
-                fills,
-                reads,
-                |i, cell| {
-                    assert_eq!(i, cell);
-                    cells[cell].store(cell as u64 + 1, Ordering::Relaxed);
+                |pi, p| match p {
+                    P::Fill(v) => {
+                        assert_eq!(pi as u64, v);
+                        (v + 1, Vec::new())
+                    }
+                    P::FanOut => (0, (0..33usize).collect()),
                 },
-                |_i, _t| {
-                    cells
-                        .iter()
-                        .map(|c| {
-                            let v = c.load(Ordering::Relaxed);
-                            assert_ne!(v, 0, "resolve observed an unfilled cell");
+                |_path, _c: usize, outputs: ParentOutputs<'_, u64>| {
+                    (0..97)
+                        .map(|pi| {
+                            let v = *outputs.get(pi);
+                            assert_ne!(v, 0, "resolve observed an unpublished fill");
                             v
                         })
                         .sum::<u64>()
                 },
             );
-            let expected = (cells.len() as u64) * (cells.len() as u64 + 1) / 2;
-            assert_eq!(sums, vec![expected; 33], "threads = {threads}");
+            assert_eq!(out.len(), 98, "threads = {threads}");
+            let expected = 97u64 * 98 / 2;
+            assert_eq!(
+                out.last().unwrap().1,
+                vec![expected; 33],
+                "threads = {threads}"
+            );
         }
     }
 
     #[test]
-    fn two_phase_results_come_back_in_order() {
+    fn barrier_results_come_back_in_path_order() {
         for threads in [1usize, 2, 8] {
-            let out = run_two_phase(
+            let out: Vec<(u64, Vec<u64>)> = run_tree_barrier(
+                (0..23u64).collect(),
                 &ParallelConfig::with_threads(threads),
-                vec![(); 5],
-                (0..257u64).collect(),
-                |_, ()| {},
-                |i, t| {
-                    assert_eq!(i as u64, t);
-                    t * 3
+                |pi, p| {
+                    assert_eq!(pi as u64, p);
+                    (p * 100, (0..p % 5).collect::<Vec<u64>>())
+                },
+                // Children read a *sibling's* output — legal only because
+                // of the barrier — plus their own path.
+                |path, c, outputs: ParentOutputs<'_, u64>| {
+                    outputs.get((path.parent + 1) % 23) / 100 + path.parent as u64 * 1000 + c
                 },
             );
-            let expected: Vec<u64> = (0..257).map(|t| t * 3).collect();
-            assert_eq!(out, expected, "threads = {threads}");
+            assert_eq!(out.len(), 23);
+            for (pi, (pr, rs)) in out.iter().enumerate() {
+                assert_eq!(*pr, pi as u64 * 100, "threads = {threads}");
+                let sibling = ((pi + 1) % 23) as u64;
+                let expected: Vec<u64> = (0..(pi as u64) % 5)
+                    .map(|c| sibling + pi as u64 * 1000 + c)
+                    .collect();
+                assert_eq!(rs, &expected, "threads = {threads}");
+            }
         }
     }
 
     #[test]
-    fn two_phase_empty_phases() {
-        let none: Vec<u64> = run_two_phase(
+    fn barrier_empty_and_childless_submissions() {
+        let none: Vec<(u64, Vec<u64>)> = run_tree_barrier(
+            Vec::<u64>::new(),
             &ParallelConfig::with_threads(4),
-            vec![1u64, 2, 3],
-            vec![],
-            |_, _| {},
-            |_, t: u64| t,
+            |_, p| (p, vec![]),
+            |_, c: u64, _outputs| c,
         );
         assert!(none.is_empty());
-        let only_b = run_two_phase(
+        // All-childless parents still publish their outputs in order.
+        let childless: Vec<(u64, Vec<u64>)> = run_tree_barrier(
+            vec![1u64, 2, 3],
             &ParallelConfig::with_threads(4),
-            Vec::<u64>::new(),
-            vec![9u64],
-            |_, _| {},
-            |_, t| t + 1,
+            |_, p| (p * 10, Vec::<u64>::new()),
+            |_, c: u64, _outputs| c,
         );
-        assert_eq!(only_b, vec![10]);
+        assert_eq!(childless, vec![(10, vec![]), (20, vec![]), (30, vec![])]);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!     [--suite kernel|multiuser|tree|all] [--out-dir DIR] [--smoke] \
 //!     [--baseline FILE]... [--max-regression-pct 30] \
 //!     [--min-arena-speedup X] [--min-tree-speedup X] \
-//!     [--history LEDGER.jsonl]
+//!     [--min-bitplane-speedup X] [--history LEDGER.jsonl]
 //! ```
 //!
 //! `--baseline` may be given multiple times; each file names its suite
@@ -33,6 +33,9 @@
 //! whole-grid-tree-vs-sequential-outer-loop speedup does (the latter is
 //! machine-portable — both sides run on the same pool configuration — so
 //! CI gates the ratio rather than a raw-throughput baseline).
+//! `--min-bitplane-speedup` gates the bit-plane-vs-slotwise pair-kernel
+//! ratio on the dense multiuser cells (both sides forced pair-major, so
+//! the ratio isolates the row layout).
 //!
 //! **Single-core honesty:** the speedup-ratio gates
 //! (`--min-arena-speedup`, `--min-tree-speedup`) compare parallel
@@ -54,7 +57,7 @@ use blind_rendezvous::history::{self, HostFingerprint};
 use blind_rendezvous::pipelines;
 use blind_rendezvous::report::Tier;
 use rdv_core::schedule::Schedule;
-use rdv_sim::engine::{EngineConfig, MeetingReport, ResolveMode, Simulation};
+use rdv_sim::engine::{EngineConfig, MeetingReport, PlanePolicy, ResolveMode, Simulation};
 use rdv_sim::sweep::{sweep_pair_grid, sweep_pair_ttr, SweepCell};
 use rdv_sim::{workload, Algorithm, PairSweep, ParallelConfig};
 use serde_json::Value;
@@ -211,6 +214,9 @@ struct MultiuserCell {
     arena_pair_slots_per_sec: f64,
     per_pair_slots_per_sec: Option<f64>,
     speedup: Option<f64>,
+    bitplane_pair_slots_per_sec: Option<f64>,
+    slotwise_pair_slots_per_sec: Option<f64>,
+    bitplane_speedup: Option<f64>,
 }
 
 /// The semantic work of a run, identical for every engine: per
@@ -252,6 +258,7 @@ fn measure_multiuser(
         let forced = EngineConfig {
             parallel: ParallelConfig::default(),
             mode,
+            plane: PlanePolicy::Auto,
             faults: None,
         };
         assert_eq!(
@@ -300,6 +307,53 @@ fn measure_multiuser(
         }
     });
 
+    // The bit-plane pair kernel vs its slotwise twin, both forced
+    // pair-major so the ratio isolates the row layout (Auto mode may
+    // pick the bucket scan, which is slotwise by construction). Both
+    // layouts must reproduce the report before anything is timed.
+    let bitplane = with_per_pair.then(|| {
+        let planes = EngineConfig {
+            parallel: ParallelConfig::default(),
+            mode: ResolveMode::PairMajor,
+            plane: PlanePolicy::Auto,
+            faults: None,
+        };
+        let slotwise = EngineConfig {
+            plane: PlanePolicy::Slotwise,
+            ..planes
+        };
+        assert_eq!(
+            report,
+            sim.run_engine(horizon, &planes),
+            "bit-plane layout diverged at n_agents={n_agents}"
+        );
+        assert_eq!(
+            report,
+            sim.run_engine(horizon, &slotwise),
+            "slotwise layout diverged at n_agents={n_agents}"
+        );
+        let (min_secs, min_reps) = if smoke { (0.05, 1) } else { (0.2, 3) };
+        let plane_secs = time_reps(
+            || {
+                std::hint::black_box(sim.run_engine(horizon, &planes));
+            },
+            min_secs,
+            min_reps,
+        );
+        let slot_secs = time_reps(
+            || {
+                std::hint::black_box(sim.run_engine(horizon, &slotwise));
+            },
+            min_secs,
+            min_reps,
+        );
+        (
+            slots as f64 / plane_secs,
+            slots as f64 / slot_secs,
+            slot_secs / plane_secs,
+        )
+    });
+
     MultiuserCell {
         n_agents,
         universe,
@@ -312,6 +366,9 @@ fn measure_multiuser(
         arena_pair_slots_per_sec: slots as f64 / arena_secs,
         per_pair_slots_per_sec: per_pair_secs.map(|s| slots as f64 / s),
         speedup: per_pair_secs.map(|s| s / arena_secs),
+        bitplane_pair_slots_per_sec: bitplane.map(|b| b.0),
+        slotwise_pair_slots_per_sec: bitplane.map(|b| b.1),
+        bitplane_speedup: bitplane.map(|b| b.2),
     }
 }
 
@@ -339,6 +396,16 @@ fn multiuser_suite(smoke: bool) -> Suite {
                 "multiuser n={:<6} pairs={:<8} arena={:>14.0} ps/s   ({:.2}s wall)",
                 cell.n_agents, cell.overlapping_pairs, cell.arena_pair_slots_per_sec, cell.arena_secs
             ),
+        }
+        if let (Some(bp), Some(sw), Some(sp)) = (
+            cell.bitplane_pair_slots_per_sec,
+            cell.slotwise_pair_slots_per_sec,
+            cell.bitplane_speedup,
+        ) {
+            println!(
+                "bitplane  n={:<6} pairs={:<8} slotwise={:>12.0} ps/s   planes={:>13.0} ps/s   speedup={:.1}x",
+                cell.n_agents, cell.overlapping_pairs, sw, bp, sp
+            );
         }
         cells.push(cell);
     }
@@ -378,6 +445,22 @@ fn multiuser_suite(smoke: bool) -> Suite {
                                 c.per_pair_slots_per_sec.map(Value::from).unwrap_or(Value::Null),
                             ),
                             ("speedup", c.speedup.map(Value::from).unwrap_or(Value::Null)),
+                            (
+                                "bitplane_pair_slots_per_sec",
+                                c.bitplane_pair_slots_per_sec
+                                    .map(Value::from)
+                                    .unwrap_or(Value::Null),
+                            ),
+                            (
+                                "slotwise_pair_slots_per_sec",
+                                c.slotwise_pair_slots_per_sec
+                                    .map(Value::from)
+                                    .unwrap_or(Value::Null),
+                            ),
+                            (
+                                "bitplane_speedup",
+                                c.bitplane_speedup.map(Value::from).unwrap_or(Value::Null),
+                            ),
                         ])
                     })
                     .collect(),
@@ -610,11 +693,12 @@ fn main() {
     // ignoring either would turn the CI perf gate into a no-op (e.g. a
     // typoed `--min-arena-speed` would drop the speedup floor with a
     // green exit).
-    const VALUE_FLAGS: [&str; 7] = [
+    const VALUE_FLAGS: [&str; 8] = [
         "--baseline",
         "--max-regression-pct",
         "--min-arena-speedup",
         "--min-tree-speedup",
+        "--min-bitplane-speedup",
         "--suite",
         "--out-dir",
         "--history",
@@ -654,6 +738,8 @@ fn main() {
         .map(|v| v.parse().expect("--min-arena-speedup takes a number"));
     let mut min_tree_speedup: Option<f64> = flag_value("--min-tree-speedup")
         .map(|v| v.parse().expect("--min-tree-speedup takes a number"));
+    let mut min_bitplane_speedup: Option<f64> = flag_value("--min-bitplane-speedup")
+        .map(|v| v.parse().expect("--min-bitplane-speedup takes a number"));
     let history_path: Option<String> = flag_value("--history");
     // Single-core honesty: a 1-hardware-thread host cannot overlap work,
     // so parallel-vs-sequential speedup ratios only measure the
@@ -675,6 +761,13 @@ fn main() {
                 "skipping --min-tree-speedup gate: host_threads == 1, the tree-vs-sequential \
                  ratio would measure the spawn-amortization floor, not parallel speedup \
                  (see the committed BENCH_tree.json: host_threads 1, speedup ~1.07)"
+            );
+        }
+        if min_bitplane_speedup.take().is_some() {
+            println!(
+                "skipping --min-bitplane-speedup gate: host_threads == 1, the floor is \
+                 calibrated for multi-core CI where the parallel fill/resolve pipeline runs; \
+                 the committed BENCH_multiuser.json records the single-core honest floor"
             );
         }
     }
@@ -726,6 +819,44 @@ fn main() {
                 entry.rows.len(),
                 ledger.display()
             );
+            // The bit-plane kernel rows ride along as their own bench id
+            // so the ledger (and the dashboard it feeds) tracks the
+            // kernel's throughput separately from the auto-mode arena.
+            if suite.bench != "multiuser_arena_engine" {
+                continue;
+            }
+            let kernel_rows: Vec<Value> = suite
+                .report
+                .get("scenarios")
+                .and_then(Value::as_array)
+                .map(|scenarios| {
+                    scenarios
+                        .iter()
+                        .filter(|s| {
+                            s.get("bitplane_pair_slots_per_sec")
+                                .and_then(Value::as_f64)
+                                .is_some()
+                        })
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default();
+            if kernel_rows.is_empty() {
+                continue;
+            }
+            let n_rows = kernel_rows.len();
+            let kernel_report = Value::object([
+                ("bench", Value::from("multiuser_bitplane_kernel")),
+                ("scenarios", Value::Array(kernel_rows)),
+            ]);
+            let entry = history::entry_from_bench(&kernel_report, tier, &commit, &host, &utc)
+                .unwrap_or_else(|e| panic!("history: suite multiuser_bitplane_kernel: {e}"));
+            history::append(ledger, &entry)
+                .unwrap_or_else(|e| panic!("history: appending to {}: {e}", ledger.display()));
+            println!(
+                "appended multiuser_bitplane_kernel generation ({n_rows} points) to {}",
+                ledger.display()
+            );
         }
     }
 
@@ -747,6 +878,41 @@ fn main() {
                 if speedup < min {
                     failures.push(format!(
                         "arena speedup {speedup:.1}x at n_agents={n_agents} below the {min}x floor"
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(min) = min_bitplane_speedup {
+        for suite in suites
+            .iter()
+            .filter(|s| s.bench == "multiuser_arena_engine")
+        {
+            let scenarios = suite
+                .report
+                .get("scenarios")
+                .and_then(Value::as_array)
+                .expect("multiuser suite has scenarios");
+            for sc in scenarios {
+                let Some(speedup) = sc.get("bitplane_speedup").and_then(Value::as_f64) else {
+                    continue; // large cells don't time the slotwise twin
+                };
+                let n_agents = sc.get("n_agents").and_then(Value::as_u64).unwrap_or(0);
+                let pairs = sc
+                    .get("overlapping_pairs")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                // Same density cut as the arena gate: below the bucket
+                // crossover the resolve loop isn't the bill being paid,
+                // so sparse cells document the ratio instead of gating it.
+                if pairs < rdv_sim::engine::BUCKET_CROSSOVER as u64 * n_agents {
+                    continue;
+                }
+                println!("bitplane speedup at n_agents={n_agents}: {speedup:.1}x (floor {min}x)");
+                if speedup < min {
+                    failures.push(format!(
+                        "bit-plane kernel speedup {speedup:.1}x at n_agents={n_agents} below \
+                         the {min}x floor"
                     ));
                 }
             }

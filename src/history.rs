@@ -435,6 +435,7 @@ pub fn entry_from_artifact(
 pub fn bench_gate_columns(bench: &str) -> (&'static str, &'static str) {
     match bench {
         "multiuser_arena_engine" => ("n_agents", "arena_pair_slots_per_sec"),
+        "multiuser_bitplane_kernel" => ("n_agents", "bitplane_pair_slots_per_sec"),
         "task_tree_grid" => ("cells", "tree_cells_per_sec"),
         _ => ("n", "block_slots_per_sec"),
     }
@@ -1057,10 +1058,28 @@ mod tests {
     }
 
     #[test]
+    fn sparkline_renders_constant_series_flat_mid_level() {
+        // A constant series makes the min–max normalizer 0/0; without the
+        // guard that NaN saturates to level 0 and the series renders as a
+        // misleading all-time-low. Pinned: every glyph is the mid level.
+        assert_eq!(sparkline(&[7.5, 7.5, 7.5, 7.5]), "▄▄▄▄");
+        assert_eq!(sparkline(&[0.0]), "▄");
+        // Non-finite points render as '?' and are excluded from the
+        // normalization, so a constant-plus-NaN series stays flat too.
+        assert_eq!(sparkline(&[2.0, f64::NAN, 2.0]), "▄?▄");
+        // And a genuinely varying series still spans the full range.
+        assert_eq!(sparkline(&[0.0, 1.0]), "▁█");
+    }
+
+    #[test]
     fn bench_gate_columns_cover_every_suite() {
         assert_eq!(
             bench_gate_columns("multiuser_arena_engine"),
             ("n_agents", "arena_pair_slots_per_sec")
+        );
+        assert_eq!(
+            bench_gate_columns("multiuser_bitplane_kernel"),
+            ("n_agents", "bitplane_pair_slots_per_sec")
         );
         assert_eq!(
             bench_gate_columns("task_tree_grid"),

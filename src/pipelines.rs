@@ -1118,7 +1118,7 @@ pub mod sdp {
 pub mod faults {
     use super::*;
     use crate::report::FailedCell;
-    use rdv_sim::engine::{EngineConfig, MissCause, ResolveMode, Simulation};
+    use rdv_sim::engine::{EngineConfig, MissCause, Simulation};
     use rdv_sim::{pool, FaultPlan, FaultProfile};
 
     /// Artifact file stem (see [`super::table1::STEM`]).
@@ -1259,8 +1259,7 @@ pub mod faults {
         );
         let clean_cfg = EngineConfig {
             parallel: ParallelConfig::with_threads(1),
-            mode: ResolveMode::Auto,
-            faults: None,
+            ..EngineConfig::default()
         };
         let clean = sim.run_engine(horizon, &clean_cfg);
         let faulted = sim.run_engine(

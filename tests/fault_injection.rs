@@ -8,7 +8,9 @@
 use blind_rendezvous::prelude::*;
 use proptest::prelude::*;
 use rdv_sim::algo::AgentCtx;
-use rdv_sim::engine::{Agent, EngineConfig, MissCause, MissedPair, ResolveMode, Simulation};
+use rdv_sim::engine::{
+    Agent, EngineConfig, MissCause, MissedPair, PlanePolicy, ResolveMode, Simulation,
+};
 use rdv_sim::{FaultPlan, InPlayWindow, ParallelConfig};
 
 /// A random population description: per agent, a channel set (within a
@@ -117,22 +119,30 @@ proptest! {
         let (expected_met, expected_missed) = faulted_reference(sim.agents(), horizon, &plan);
         for mode in [ResolveMode::Auto, ResolveMode::PairMajor, ResolveMode::BucketScan] {
             for threads in [1usize, 2, 8] {
-                let cfg = EngineConfig {
-                    parallel: ParallelConfig::with_threads(threads),
-                    mode,
-                    faults: Some(plan),
-                };
-                let report = sim.run_engine(horizon, &cfg);
-                prop_assert_eq!(
-                    report.first_meeting.as_slice(),
-                    expected_met.as_slice(),
-                    "faulted meetings diverged: mode {:?}, {} threads", mode, threads
-                );
-                prop_assert_eq!(
-                    &report.missed,
-                    &expected_missed,
-                    "faulted misses diverged: mode {:?}, {} threads", mode, threads
-                );
+                // Both row layouts: the bit-plane kernel sees faulted
+                // (zeroed) slots only through the shared masked-fill
+                // helper, so it must agree with slotwise under any plan.
+                for plane in [PlanePolicy::Auto, PlanePolicy::Slotwise] {
+                    let cfg = EngineConfig {
+                        parallel: ParallelConfig::with_threads(threads),
+                        mode,
+                        plane,
+                        faults: Some(plan),
+                    };
+                    let report = sim.run_engine(horizon, &cfg);
+                    prop_assert_eq!(
+                        report.first_meeting.as_slice(),
+                        expected_met.as_slice(),
+                        "faulted meetings diverged: mode {:?}, {} threads, {:?}",
+                        mode, threads, plane
+                    );
+                    prop_assert_eq!(
+                        &report.missed,
+                        &expected_missed,
+                        "faulted misses diverged: mode {:?}, {} threads, {:?}",
+                        mode, threads, plane
+                    );
+                }
             }
         }
     }
@@ -154,6 +164,7 @@ proptest! {
             let cfg = EngineConfig {
                 parallel: ParallelConfig::with_threads(threads),
                 mode: ResolveMode::Auto,
+                plane: PlanePolicy::Auto,
                 faults: Some(plan),
             };
             let per_pair = sim.run_per_pair_reference_with(horizon, &cfg);

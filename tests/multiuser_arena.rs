@@ -1,12 +1,18 @@
 //! Correctness contract of the shared-arena multi-user engine: on random
 //! populations with staggered wakes and off-block horizons, both
-//! resolution modes — pair-major and bucket scan — must reproduce a naive
-//! per-slot reference **bit-identically**, at 1, 2, and 8 worker threads.
+//! resolution modes — pair-major and bucket scan — and both row layouts
+//! — bit-plane and slotwise — must reproduce a naive per-slot reference
+//! **bit-identically**, at 1, 2, and 8 worker threads, including the
+//! universes whose channel ids exceed the plane budget (where the auto
+//! layout must fall back to slotwise rows).
 
 use blind_rendezvous::prelude::*;
 use proptest::prelude::*;
+use rdv_core::schedule::CyclicSchedule;
 use rdv_sim::algo::AgentCtx;
-use rdv_sim::engine::{Agent, EngineConfig, MissCause, MissedPair, ResolveMode, Simulation};
+use rdv_sim::engine::{
+    Agent, EngineConfig, MissCause, MissedPair, PlanePolicy, ResolveMode, Simulation,
+};
 use rdv_sim::ParallelConfig;
 
 /// A random population description: per agent, a channel set (within a
@@ -41,6 +47,30 @@ fn build(n: u64, spec: &[(Vec<u64>, u64)]) -> Vec<Agent> {
             };
             Agent {
                 schedule: algo.make(n, &set, &ctx).expect("valid agent"),
+                set,
+                wake: *wake,
+                share_key: None,
+            }
+        })
+        .collect()
+}
+
+/// The same population shapes with every channel id shifted far above
+/// the plane budget (`plane_bits > PLANE_BITS_BUDGET`), on cheap cyclic
+/// schedules — the universe where the bit-plane layout must fall back to
+/// slotwise rows.
+fn build_above_plane_budget(spec: &[(Vec<u64>, u64)]) -> Vec<Agent> {
+    const BASE: u64 = 1u64 << rdv_core::bitplane::PLANE_BITS_BUDGET;
+    spec.iter()
+        .enumerate()
+        .map(|(i, (channels, wake))| {
+            let shifted: Vec<u64> = channels.iter().map(|c| BASE + c).collect();
+            let set = ChannelSet::new(shifted.iter().copied()).expect("non-empty");
+            let mut period: Vec<Channel> = shifted.iter().map(|&c| Channel::new(c)).collect();
+            let rot = i % period.len();
+            period.rotate_left(rot);
+            Agent {
+                schedule: Box::new(CyclicSchedule::new(period).expect("non-empty")),
                 set,
                 wake: *wake,
                 share_key: None,
@@ -94,23 +124,63 @@ proptest! {
         let (expected_met, expected_missed) = reference(sim.agents(), horizon);
         for mode in [ResolveMode::Auto, ResolveMode::PairMajor, ResolveMode::BucketScan] {
             for threads in [1usize, 2, 8] {
-                let cfg = EngineConfig {
-                    parallel: ParallelConfig::with_threads(threads),
-                    mode,
-                    faults: None,
-                };
-                let report = sim.run_engine(horizon, &cfg);
-                prop_assert_eq!(
-                    report.first_meeting.as_slice(),
-                    expected_met.as_slice(),
-                    "meetings diverged: mode {:?}, {} threads", mode, threads
-                );
-                prop_assert_eq!(
-                    &report.missed,
-                    &expected_missed,
-                    "missed diverged: mode {:?}, {} threads", mode, threads
-                );
-                prop_assert_eq!(report.horizon, horizon);
+                for plane in [PlanePolicy::Auto, PlanePolicy::Slotwise] {
+                    let cfg = EngineConfig {
+                        parallel: ParallelConfig::with_threads(threads),
+                        mode,
+                        plane,
+                        faults: None,
+                    };
+                    let report = sim.run_engine(horizon, &cfg);
+                    prop_assert_eq!(
+                        report.first_meeting.as_slice(),
+                        expected_met.as_slice(),
+                        "meetings diverged: mode {:?}, {} threads, {:?}", mode, threads, plane
+                    );
+                    prop_assert_eq!(
+                        &report.missed,
+                        &expected_missed,
+                        "missed diverged: mode {:?}, {} threads, {:?}", mode, threads, plane
+                    );
+                    prop_assert_eq!(report.horizon, horizon);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_layout_falls_back_bit_identically_above_the_plane_budget(
+        (_n, spec) in population(),
+        horizon in 600u64..1500,
+    ) {
+        // Same population shapes, but every channel id shifted above
+        // 2^PLANE_BITS_BUDGET: the auto layout must decline to pack
+        // planes (rather than widen past the budget) and still match
+        // both the naive reference and the forced-slotwise engine.
+        let agents = build_above_plane_budget(&spec);
+        let sim = Simulation::new(agents);
+        let (expected_met, expected_missed) = reference(sim.agents(), horizon);
+        for mode in [ResolveMode::Auto, ResolveMode::PairMajor] {
+            for plane in [PlanePolicy::Auto, PlanePolicy::Slotwise] {
+                for threads in [1usize, 2, 8] {
+                    let cfg = EngineConfig {
+                        parallel: ParallelConfig::with_threads(threads),
+                        mode,
+                        plane,
+                        faults: None,
+                    };
+                    let report = sim.run_engine(horizon, &cfg);
+                    prop_assert_eq!(
+                        report.first_meeting.as_slice(),
+                        expected_met.as_slice(),
+                        "meetings diverged: mode {:?}, {} threads, {:?}", mode, threads, plane
+                    );
+                    prop_assert_eq!(
+                        &report.missed,
+                        &expected_missed,
+                        "missed diverged: mode {:?}, {} threads, {:?}", mode, threads, plane
+                    );
+                }
             }
         }
     }

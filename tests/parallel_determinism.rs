@@ -9,7 +9,7 @@ use blind_rendezvous::sim::workload::{self, PairScenario};
 use blind_rendezvous::sim::{pool, sweep_pair_ttr, ParallelConfig, SweepConfig};
 use proptest::prelude::*;
 use rdv_sim::algo::AgentCtx;
-use rdv_sim::engine::{Agent, EngineConfig, ResolveMode};
+use rdv_sim::engine::{Agent, EngineConfig, PlanePolicy, ResolveMode};
 use std::collections::HashSet;
 
 /// Sweeps one scenario at a given thread count and returns the serialized
@@ -91,20 +91,26 @@ fn multi_agent_simulation_is_thread_count_invariant() {
         assert_eq!(single, multi, "simulation diverged at {threads} threads");
     }
     // The arena engine's determinism contract covers both resolution
-    // modes: forced pair-major, forced bucket scan, and the per-pair
-    // reference engine must all reproduce the single-thread report at
-    // every thread count.
+    // modes and both row layouts: forced pair-major, forced bucket scan,
+    // bit-plane and slotwise rows, and the per-pair reference engine must
+    // all reproduce the single-thread report at every thread count.
     for mode in [ResolveMode::PairMajor, ResolveMode::BucketScan] {
-        for threads in [1usize, 2, 8] {
-            let report = sim.run_engine(
-                horizon,
-                &EngineConfig {
-                    parallel: ParallelConfig::with_threads(threads),
-                    mode,
-                    faults: None,
-                },
-            );
-            assert_eq!(single, report, "{mode:?} diverged at {threads} threads");
+        for plane in [PlanePolicy::Auto, PlanePolicy::Slotwise] {
+            for threads in [1usize, 2, 8] {
+                let report = sim.run_engine(
+                    horizon,
+                    &EngineConfig {
+                        parallel: ParallelConfig::with_threads(threads),
+                        mode,
+                        plane,
+                        faults: None,
+                    },
+                );
+                assert_eq!(
+                    single, report,
+                    "{mode:?}/{plane:?} diverged at {threads} threads"
+                );
+            }
         }
     }
     for threads in [1usize, 2, 8] {

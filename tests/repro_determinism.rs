@@ -1,8 +1,8 @@
 //! Golden-artifact determinism of the reproduction pipelines, as a
 //! `cargo test` twin of CI's byte-for-byte artifact diff: each pipeline
-//! runs twice in-process — once on 1 worker thread, once on 8 — and must
-//! serialize to identical JSON; the 1-thread run must additionally match
-//! the committed artifact exactly.
+//! runs three times in-process — on 1, 2, and 8 worker threads — and
+//! must serialize to identical JSON; the 1-thread run must additionally
+//! match the committed artifact exactly.
 
 use blind_rendezvous::pipelines;
 use blind_rendezvous::report::Tier;
@@ -19,6 +19,7 @@ fn committed(name: &str) -> String {
 #[test]
 fn lower_pipeline_is_thread_count_invariant_and_matches_committed() {
     let single = pipelines::lower::run(Tier::Smoke, 1);
+    let two = pipelines::lower::run(Tier::Smoke, 2);
     let multi = pipelines::lower::run(Tier::Smoke, 8);
     assert!(
         single.violations.is_empty(),
@@ -30,7 +31,13 @@ fn lower_pipeline_is_thread_count_invariant_and_matches_committed() {
         pretty(&multi),
         "lower artifact diverged between 1 and 8 worker threads"
     );
+    assert_eq!(
+        pretty(&single),
+        pretty(&two),
+        "lower artifact diverged between 1 and 2 worker threads"
+    );
     assert_eq!(single.markdown, multi.markdown);
+    assert_eq!(single.markdown, two.markdown);
     assert_eq!(
         pretty(&single),
         committed("REPRO_lower.json"),
@@ -41,6 +48,7 @@ fn lower_pipeline_is_thread_count_invariant_and_matches_committed() {
 #[test]
 fn sdp_pipeline_is_thread_count_invariant_and_matches_committed() {
     let single = pipelines::sdp::run(Tier::Smoke, 1);
+    let two = pipelines::sdp::run(Tier::Smoke, 2);
     let multi = pipelines::sdp::run(Tier::Smoke, 8);
     assert!(
         single.violations.is_empty(),
@@ -52,7 +60,13 @@ fn sdp_pipeline_is_thread_count_invariant_and_matches_committed() {
         pretty(&multi),
         "sdp artifact diverged between 1 and 8 worker threads"
     );
+    assert_eq!(
+        pretty(&single),
+        pretty(&two),
+        "sdp artifact diverged between 1 and 2 worker threads"
+    );
     assert_eq!(single.markdown, multi.markdown);
+    assert_eq!(single.markdown, two.markdown);
     assert_eq!(
         pretty(&single),
         committed("REPRO_sdp.json"),
@@ -68,6 +82,7 @@ fn table1_pipeline_is_thread_count_invariant_and_matches_committed() {
     // must serialize byte-identically, and match the committed artifact,
     // pinning that the tree refactor changed scheduling, not results.
     let single = pipelines::table1::run(Tier::Smoke, 1);
+    let two = pipelines::table1::run(Tier::Smoke, 2);
     let multi = pipelines::table1::run(Tier::Smoke, 8);
     assert!(
         single.violations.is_empty(),
@@ -79,7 +94,13 @@ fn table1_pipeline_is_thread_count_invariant_and_matches_committed() {
         pretty(&multi),
         "table1 artifact diverged between 1 and 8 worker threads"
     );
+    assert_eq!(
+        pretty(&single),
+        pretty(&two),
+        "table1 artifact diverged between 1 and 2 worker threads"
+    );
     assert_eq!(single.markdown, multi.markdown);
+    assert_eq!(single.markdown, two.markdown);
     assert_eq!(
         pretty(&single),
         committed("REPRO_table1.json"),
@@ -96,6 +117,7 @@ fn faults_pipeline_is_thread_count_invariant_and_matches_committed() {
     let profile = rdv_core::fault::FaultProfile::named("light").expect("committed profile");
     let sabotage = pipelines::faults::Sabotage::NONE;
     let single = pipelines::faults::run(Tier::Smoke, 1, profile, sabotage);
+    let two = pipelines::faults::run(Tier::Smoke, 2, profile, sabotage);
     let multi = pipelines::faults::run(Tier::Smoke, 8, profile, sabotage);
     assert!(
         single.failed_cells.is_empty(),
@@ -107,7 +129,13 @@ fn faults_pipeline_is_thread_count_invariant_and_matches_committed() {
         pretty(&multi),
         "faults artifact diverged between 1 and 8 worker threads"
     );
+    assert_eq!(
+        pretty(&single),
+        pretty(&two),
+        "faults artifact diverged between 1 and 2 worker threads"
+    );
     assert_eq!(single.markdown, multi.markdown);
+    assert_eq!(single.markdown, two.markdown);
     assert_eq!(
         pretty(&single),
         committed("REPRO_table1_faults.json"),

@@ -134,27 +134,54 @@ fn expand_panic_propagates_without_deadlock() {
 }
 
 #[test]
-fn two_phase_phase_a_panic_releases_the_barrier() {
-    // Mirrors the barrier tests in `pool`: a phase-a worker dying must
+fn barrier_expansion_panic_releases_the_barrier() {
+    // Mirrors the barrier tests in `pool`: a fill-phase worker dying must
     // release the arrival barrier (drop-guard arrival) so its siblings
     // finish and the panic surfaces at join instead of a deadlock.
     let result = catch_unwind(AssertUnwindSafe(|| {
-        pool::run_two_phase(
+        pool::run_tree_barrier(
+            (0..8u64).collect::<Vec<_>>(),
             &ParallelConfig::with_threads(4),
-            (0..8u64).collect::<Vec<_>>(),
-            (0..8u64).collect::<Vec<_>>(),
-            |i, _t| {
-                if i == 3 {
-                    panic!("phase-a bomb");
+            |pi, p| {
+                if pi == 3 {
+                    panic!("fill bomb");
                 }
+                (p, vec![p])
             },
-            |_i, t: u64| t,
+            |_path: TreePath, c: u64, _outputs: pool::ParentOutputs<'_, u64>| c,
         );
     }));
     assert!(
         result.is_err(),
-        "the phase-a panic must propagate to the caller"
+        "the fill-phase panic must propagate to the caller"
     );
+}
+
+#[test]
+fn barrier_children_see_every_parent_output_at_every_thread_count() {
+    // The pinning contract the engine's fill/resolve split rides on:
+    // by the time any child runs, *all* parent outputs are published and
+    // readable through `ParentOutputs`, regardless of thread count.
+    for threads in [1usize, 2, 8] {
+        let out = pool::run_tree_barrier(
+            (0..10u64).collect::<Vec<_>>(),
+            &ParallelConfig::with_threads(threads),
+            |_pi, p| (p * p, vec![p]),
+            |path: TreePath, c: u64, outputs: pool::ParentOutputs<'_, u64>| {
+                let total: u64 = (0..outputs.len()).map(|i| *outputs.get(i)).sum();
+                total + c + path.parent as u64
+            },
+        );
+        // Sum of squares over 0..10 is 285; each parent carries one child.
+        for (p, (square, kids)) in out.iter().enumerate() {
+            assert_eq!(*square, (p * p) as u64, "at {threads} threads");
+            assert_eq!(
+                kids.as_slice(),
+                &[285 + 2 * p as u64],
+                "at {threads} threads"
+            );
+        }
+    }
 }
 
 #[test]
