@@ -10,6 +10,20 @@
 //! | [`drds`]     | Gu–Hua–Wang–Lau, SECON 2013            | `O(n²)` | `O(n)`  |
 //! | [`random`]   | the randomized strawman of §1.2        | `O(kℓ·log n)` w.h.p. | — |
 //!
+//! Beyond Table 1, the crate also carries the **availability-aware**
+//! family the paper's model does not cover — algorithms designed for a
+//! spectrum with primary-user outages, which derive hops from the
+//! currently *sensed* channel set rather than the licensed set:
+//!
+//! | algorithm | paper | guarantee here |
+//! |-----------|-------|----------------|
+//! | [`zos`] | Lin–Yu–Liu–Leung–Chu, arXiv 1506.00744 | empirical |
+//! | [`acs`] | Yu–Liu–Leung–Chu–Lin, arXiv 1506.01136 | empirical |
+//!
+//! Both consult [`rdv_core::fault::FaultPlan::channel_available`] through
+//! the shared [`sensing`] module and degrade to ordinary oblivious,
+//! block-compilable schedules when no (or a quiet) plan is present.
+//!
 //! # Reconstruction notes
 //!
 //! The three deterministic baselines are re-implemented from their published
@@ -27,13 +41,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod acs;
 pub mod crseq;
 pub mod drds;
 pub mod jumpstay;
 pub mod projection;
 pub mod random;
+pub mod sensing;
+pub mod zos;
 
+pub use acs::AcsHopping;
 pub use crseq::Crseq;
 pub use drds::Drds;
 pub use jumpstay::JumpStay;
 pub use random::RandomHopping;
+pub use zos::Zos;

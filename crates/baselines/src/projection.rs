@@ -42,6 +42,25 @@ pub fn project_rotating(c: u64, n: u64, set: &ChannelSet, rotation: u64) -> Chan
     }
 }
 
+/// Like [`project_rotating`], but folding onto an explicit *sensed*
+/// channel list (ascending, non-empty) instead of a [`ChannelSet`] — the
+/// availability-aware family's projection target is re-derived per plan
+/// epoch (see [`crate::sensing`]), so it arrives as a slice.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `sensed` is empty.
+pub fn project_sensed(c: u64, n: u64, sensed: &[u64], rotation: u64) -> Channel {
+    assert!(c != 0, "raw sequence values are 1-indexed");
+    let folded = ((c - 1) % n) + 1;
+    if sensed.binary_search(&folded).is_ok() {
+        Channel::new(folded)
+    } else {
+        let m = sensed.len() as u64;
+        Channel::new(sensed[(((c - 1) + rotation) % m) as usize])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +114,32 @@ mod tests {
     #[should_panic(expected = "1-indexed")]
     fn zero_raw_channel_panics() {
         project(0, 4, &set(&[1]));
+    }
+
+    #[test]
+    fn sensed_projection_agrees_with_set_projection_on_full_sets() {
+        // With the sensed list equal to the whole set, project_sensed is
+        // project_rotating exactly.
+        let s = set(&[2, 5, 9]);
+        for c in 1..=17u64 {
+            for rot in 0..4u64 {
+                assert_eq!(
+                    project_sensed(c, 16, s.as_slice(), rot),
+                    project_rotating(c, 16, &s, rot),
+                    "raw {c}, rotation {rot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sensed_projection_lands_in_the_sensed_list() {
+        let sensed = [3u64, 8];
+        for c in 1..=20u64 {
+            for rot in 0..5u64 {
+                let out = project_sensed(c, 9, &sensed, rot).get();
+                assert!(sensed.contains(&out), "raw {c} → {out}");
+            }
+        }
     }
 }

@@ -1,0 +1,177 @@
+//! Shared sensed-set machinery of the availability-aware family
+//! ([`Zos`](crate::Zos), [`AcsHopping`](crate::AcsHopping)).
+//!
+//! The oblivious Table 1 constructions hop a schedule derived from the
+//! *licensed* channel set alone; the availability-aware family instead
+//! derives each hop from the channels the radio currently *senses* as
+//! usable — the licensed set intersected with the fault plan's per-epoch
+//! outage masks ([`FaultPlan::channel_available`]). [`Sensing`] packages
+//! that lookup:
+//!
+//! * **Local vs absolute time.** Schedules run on the agent's local clock
+//!   (`t` slots since wake), but spectrum availability is a property of
+//!   the *absolute* slot; `Sensing` carries the agent's wake offset and
+//!   performs the translation, so availability-aware schedules stay
+//!   drop-in [`Schedule`](rdv_core::schedule::Schedule) implementations.
+//! * **Epoch-granular sensing.** Outage masks are constant within one
+//!   plan epoch, so the sensed set only changes at epoch boundaries;
+//!   [`Sensing::stable_run`] exposes the length of the constant run from
+//!   any slot, which lets `fill_channels` overrides sense once per epoch
+//!   segment instead of once per slot.
+//! * **Quiet plans compile away.** A `None` or quiet plan senses the full
+//!   licensed set forever (`stable_run` = ∞), so availability-aware
+//!   schedules are exactly periodic and block-compile like any oblivious
+//!   schedule when nothing is faulted.
+//! * **Never go dark.** If an epoch blacks out the *entire* licensed set,
+//!   the radio keeps hopping the full set (those slots cannot produce a
+//!   meeting anyway — the engine masks them — but the sequence position
+//!   keeps advancing deterministically).
+
+use rdv_core::channel::ChannelSet;
+use rdv_core::fault::FaultPlan;
+
+/// The availability context of one availability-aware schedule: the
+/// agent's licensed set, its absolute wake slot, and the (optional) fault
+/// plan whose outage masks it senses.
+#[derive(Debug, Clone)]
+pub struct Sensing {
+    set: ChannelSet,
+    wake: u64,
+    plan: Option<FaultPlan>,
+}
+
+impl Sensing {
+    /// Builds a sensing context. Quiet plans are dropped to `None` so a
+    /// quiet-plan schedule is *observationally identical* to a plan-less
+    /// one — including its `period_hint`, so it block-compiles.
+    pub fn new(set: ChannelSet, wake: u64, plan: Option<FaultPlan>) -> Self {
+        Sensing {
+            set,
+            wake,
+            plan: plan.filter(|p| !p.is_quiet()),
+        }
+    }
+
+    /// The agent's licensed channel set.
+    pub fn set(&self) -> &ChannelSet {
+        &self.set
+    }
+
+    /// Whether a (non-quiet) fault plan is being sensed.
+    pub fn has_plan(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// The sensed channel set at local slot `t`: the licensed channels the
+    /// plan reports available during the epoch containing absolute slot
+    /// `wake + t`, in ascending channel order; the whole licensed set when
+    /// there is no plan or everything is blacked out.
+    pub fn sensed_at(&self, t: u64) -> Vec<u64> {
+        let Some(plan) = &self.plan else {
+            return self.set.as_slice().to_vec();
+        };
+        let abs = self.wake.saturating_add(t);
+        let sensed: Vec<u64> = self
+            .set
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&c| plan.channel_available(c, abs))
+            .collect();
+        if sensed.is_empty() {
+            self.set.as_slice().to_vec()
+        } else {
+            sensed
+        }
+    }
+
+    /// How many local slots from `t` (inclusive) the sensed set is
+    /// guaranteed constant: to the end of the current absolute-time plan
+    /// epoch, or `u64::MAX` with no plan. Always ≥ 1.
+    pub fn stable_run(&self, t: u64) -> u64 {
+        let Some(plan) = &self.plan else {
+            return u64::MAX;
+        };
+        let abs = self.wake.saturating_add(t);
+        let epoch = plan.epoch_slots();
+        epoch - abs % epoch
+    }
+
+    /// The true period of the schedule's sensed set, if it has one: with
+    /// no (or quiet) plan the sensed set never changes, so any sequence
+    /// period is a schedule period; with an active plan the masks are
+    /// hashed per epoch and never repeat, so there is none.
+    pub fn period_if_oblivious(&self, sequence_period: u64) -> Option<u64> {
+        if self.plan.is_some() {
+            None
+        } else {
+            Some(sequence_period)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(channels: &[u64]) -> ChannelSet {
+        ChannelSet::new(channels.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn no_plan_senses_the_full_set_forever() {
+        let s = Sensing::new(set(&[2, 5, 9]), 17, None);
+        assert!(!s.has_plan());
+        assert_eq!(s.sensed_at(0), vec![2, 5, 9]);
+        assert_eq!(s.sensed_at(1_000_000), vec![2, 5, 9]);
+        assert_eq!(s.stable_run(123), u64::MAX);
+        assert_eq!(s.period_if_oblivious(42), Some(42));
+    }
+
+    #[test]
+    fn quiet_plans_are_dropped() {
+        let quiet = FaultPlan::new(7, 64, 0, 0, 4096);
+        let s = Sensing::new(set(&[1, 2]), 0, Some(quiet));
+        assert!(!s.has_plan());
+        assert_eq!(s.period_if_oblivious(10), Some(10));
+    }
+
+    #[test]
+    fn sensed_set_matches_the_plan_and_is_epoch_stable() {
+        let plan = FaultPlan::new(42, 64, 300, 0, 4096);
+        let licensed = set(&[3, 4, 5, 6]);
+        let wake = 100u64;
+        let s = Sensing::new(licensed.clone(), wake, Some(plan));
+        assert_eq!(s.period_if_oblivious(10), None);
+        for t in 0..1024u64 {
+            let sensed = s.sensed_at(t);
+            let abs = wake + t;
+            let want: Vec<u64> = licensed
+                .as_slice()
+                .iter()
+                .copied()
+                .filter(|&c| plan.channel_available(c, abs))
+                .collect();
+            if want.is_empty() {
+                assert_eq!(sensed, licensed.as_slice());
+            } else {
+                assert_eq!(sensed, want);
+            }
+            // The sensed set is constant over the advertised stable run.
+            let run = s.stable_run(t);
+            assert!(run >= 1);
+            assert_eq!(s.sensed_at(t + run - 1), sensed);
+            // ... and the run ends exactly at an absolute epoch boundary.
+            assert_eq!((abs + run) % 64, 0);
+        }
+    }
+
+    #[test]
+    fn total_blackout_falls_back_to_the_licensed_set() {
+        // outage 1000‰: every real channel is blacked out in every epoch.
+        let plan = FaultPlan::new(9, 16, 1000, 0, 1024);
+        let licensed = set(&[2, 7]);
+        let s = Sensing::new(licensed.clone(), 0, Some(plan));
+        assert_eq!(s.sensed_at(5), licensed.as_slice());
+    }
+}

@@ -62,6 +62,7 @@ fn bench_parallel_engine(c: &mut Criterion) {
                 wake: (i as u64) * 97,
                 agent_seed: i as u64,
                 shared_seed: 3,
+                faults: None,
             };
             Agent {
                 schedule: Algorithm::Ours.make(n, &set, &ctx).expect("valid"),

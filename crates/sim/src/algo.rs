@@ -1,8 +1,9 @@
 //! A uniform façade over every rendezvous algorithm in the workspace.
 
-use rdv_baselines::{Crseq, Drds, JumpStay, RandomHopping};
+use rdv_baselines::{AcsHopping, Crseq, Drds, JumpStay, RandomHopping, Zos};
 use rdv_beacon::{BeaconProtocolA, BeaconProtocolB, BeaconStream};
 use rdv_core::channel::ChannelSet;
+use rdv_core::fault::FaultPlan;
 use rdv_core::general::GeneralSchedule;
 use rdv_core::schedule::Schedule;
 use rdv_core::symmetric::SymmetricWrapped;
@@ -15,12 +16,19 @@ pub type DynSchedule = Box<dyn Schedule + Send + Sync>;
 /// Per-agent context a factory may need.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AgentCtx {
-    /// Absolute wake slot (needed by the beacon protocols).
+    /// Absolute wake slot (needed by the beacon protocols and the
+    /// availability-aware family's local→absolute clock translation).
     pub wake: u64,
     /// Per-agent seed (needed by random hopping).
     pub agent_seed: u64,
     /// Shared experiment seed (beacon stream).
     pub shared_seed: u64,
+    /// The run's fault plan, when the experiment injects one. The
+    /// availability-aware family ([`Algorithm::Zos`],
+    /// [`Algorithm::AcsHopping`]) derives its hops from the plan's
+    /// sensed channel sets; every oblivious algorithm ignores it, so
+    /// `None` (the default) reproduces the fault-free factories exactly.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Every algorithm the harness can sweep.
@@ -42,7 +50,44 @@ pub enum Algorithm {
     BeaconA,
     /// Section 5 protocol B (`O(k+ℓ+log n)` w.h.p., one-bit beacon).
     BeaconB,
+    /// ZOS-style zig-zag/stay on the sensed channel set
+    /// (arXiv 1506.00744; availability-aware, empirical).
+    Zos,
+    /// Interleaved jump/stay on the available channel set
+    /// (arXiv 1506.01136; availability-aware, empirical).
+    AcsHopping,
 }
+
+/// One arm per variant: this match stops compiling the moment a new
+/// `Algorithm` variant exists, and the index it returns is checked (at
+/// compile time, below) against [`Algorithm::ALL`] — so a variant that is
+/// not also added to `ALL`, in declaration order, fails the build rather
+/// than silently escaping the exhaustive sweeps and name checks.
+const fn variant_index(a: Algorithm) -> usize {
+    match a {
+        Algorithm::Ours => 0,
+        Algorithm::OursSymmetric => 1,
+        Algorithm::Crseq => 2,
+        Algorithm::JumpStay => 3,
+        Algorithm::Drds => 4,
+        Algorithm::Random => 5,
+        Algorithm::BeaconA => 6,
+        Algorithm::BeaconB => 7,
+        Algorithm::Zos => 8,
+        Algorithm::AcsHopping => 9,
+    }
+}
+
+const _: () = {
+    let mut i = 0;
+    while i < Algorithm::ALL.len() {
+        assert!(
+            variant_index(Algorithm::ALL[i]) == i,
+            "Algorithm::ALL must list every variant in declaration order"
+        );
+        i += 1;
+    }
+};
 
 impl Algorithm {
     /// All deterministic, beacon-free algorithms (the Table 1 rows).
@@ -53,6 +98,23 @@ impl Algorithm {
         Algorithm::Ours,
     ];
 
+    /// Every variant, in declaration order — the exhaustive list behind
+    /// name-uniqueness checks and whole-façade sweeps. Kept honest by the
+    /// compile-time `variant_index` guard: adding a variant without
+    /// extending this list does not compile.
+    pub const ALL: [Algorithm; 10] = [
+        Algorithm::Ours,
+        Algorithm::OursSymmetric,
+        Algorithm::Crseq,
+        Algorithm::JumpStay,
+        Algorithm::Drds,
+        Algorithm::Random,
+        Algorithm::BeaconA,
+        Algorithm::BeaconB,
+        Algorithm::Zos,
+        Algorithm::AcsHopping,
+    ];
+
     /// Whether the algorithm's guarantee is deterministic.
     pub fn is_deterministic(self) -> bool {
         !matches!(
@@ -61,13 +123,27 @@ impl Algorithm {
         )
     }
 
+    /// Whether the schedule consults [`AgentCtx::faults`] — the
+    /// availability-aware family, which regenerates its hops from the
+    /// plan's per-epoch sensed channel sets. Fault pipelines build these
+    /// agents twice (a plan-less clean twin and a sensing faulted twin);
+    /// for every other algorithm the two twins are the same object.
+    pub fn availability_aware(self) -> bool {
+        matches!(self, Algorithm::Zos | Algorithm::AcsHopping)
+    }
+
     /// Whether [`Algorithm::make`] consumes `AgentCtx::wake` — i.e. the
     /// schedule itself depends on the absolute wake slot (the beacon
-    /// protocols listen to a globally-timed beacon stream). Sweeps can
-    /// hoist schedule construction out of the shift loop exactly when this
-    /// is false.
+    /// protocols listen to a globally-timed beacon stream; the
+    /// availability-aware family translates its local clock to absolute
+    /// slots to sense per-epoch outage masks). Sweeps can hoist schedule
+    /// construction out of the shift loop — and the arena can share
+    /// compiled tables across agents — exactly when this is false.
     pub fn wake_sensitive(self) -> bool {
-        matches!(self, Algorithm::BeaconA | Algorithm::BeaconB)
+        matches!(
+            self,
+            Algorithm::BeaconA | Algorithm::BeaconB | Algorithm::Zos | Algorithm::AcsHopping
+        )
     }
 
     /// Whether this implementation carries a *proven* asymmetric rendezvous
@@ -111,6 +187,10 @@ impl Algorithm {
                 set.clone(),
                 ctx.wake,
             )),
+            Algorithm::Zos => Box::new(Zos::new(n, set.clone(), ctx.wake, ctx.faults)?),
+            Algorithm::AcsHopping => {
+                Box::new(AcsHopping::new(n, set.clone(), ctx.wake, ctx.faults)?)
+            }
         })
     }
 
@@ -118,7 +198,11 @@ impl Algorithm {
     /// overlapping sets (used as simulation cut-off).
     pub fn horizon(self, n: u64, k: usize, ell: usize) -> u64 {
         let n = n.max(2);
-        let kl = (k * ell) as u64;
+        // Each factor widens to u64 *before* the product/sum: `usize`
+        // arithmetic would overflow first on 32-bit targets (and panic in
+        // debug builds) for large k·ℓ.
+        let kl = k as u64 * ell as u64;
+        let k_plus_ell = k as u64 + ell as u64;
         match self {
             Algorithm::Ours => (9 * kl + 4) * 4 * 80,
             Algorithm::OursSymmetric => 12 * (9 * kl + 4) * 4 * 80 + 24,
@@ -127,10 +211,14 @@ impl Algorithm {
             Algorithm::Drds => 10 * n * n + 64,
             Algorithm::Random => 64 * kl * u64::from(rdv_strings::log_sharp(n) + 1) + 1024,
             Algorithm::BeaconA => {
-                256 * (k + ell) as u64 * u64::from(rdv_strings::log_sharp(n) + 1) + 4096
+                256 * k_plus_ell * u64::from(rdv_strings::log_sharp(n) + 1) + 4096
             }
-            Algorithm::BeaconB => {
-                512 * ((k + ell) as u64 + u64::from(rdv_strings::log_sharp(n))) + 8192
+            Algorithm::BeaconB => 512 * (k_plus_ell + u64::from(rdv_strings::log_sharp(n))) + 8192,
+            // Availability-aware reconstructions: round/frame sweeps over
+            // the universe prime P ≤ 2n repeat offsets every O(P²) rounds,
+            // so a Crseq-like quadratic-in-n cut-off is generous.
+            Algorithm::Zos | Algorithm::AcsHopping => {
+                12 * n * n * (k.max(ell) as u64) + 64 * n + 4096
             }
         }
     }
@@ -147,6 +235,8 @@ impl fmt::Display for Algorithm {
             Algorithm::Random => "random (§1.2)",
             Algorithm::BeaconA => "beacon A (§5)",
             Algorithm::BeaconB => "beacon B (§5)",
+            Algorithm::Zos => "ZOS [avail]",
+            Algorithm::AcsHopping => "ACS-hop [avail]",
         };
         f.write_str(name)
     }
@@ -164,16 +254,7 @@ mod tests {
     fn all_algorithms_instantiate() {
         let s = set(&[2, 7, 11]);
         let ctx = AgentCtx::default();
-        for algo in [
-            Algorithm::Ours,
-            Algorithm::OursSymmetric,
-            Algorithm::Crseq,
-            Algorithm::JumpStay,
-            Algorithm::Drds,
-            Algorithm::Random,
-            Algorithm::BeaconA,
-            Algorithm::BeaconB,
-        ] {
+        for algo in Algorithm::ALL {
             let sched = algo.make(16, &s, &ctx).unwrap_or_else(|| {
                 panic!("{algo} failed to instantiate");
             });
@@ -182,6 +263,33 @@ mod tests {
                     s.contains(sched.channel_at(t).get()),
                     "{algo} left its set at slot {t}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn availability_aware_factories_consume_the_plan() {
+        // With a plan in the ctx, the availability-aware schedules differ
+        // from their oblivious twins (they sense the masks) but still
+        // never leave their licensed set; oblivious algorithms ignore the
+        // plan entirely.
+        let s = set(&[2, 7, 11]);
+        let plan = FaultPlan::new(3, 32, 400, 0, 4096);
+        let faulted_ctx = AgentCtx {
+            faults: Some(plan),
+            ..AgentCtx::default()
+        };
+        for algo in Algorithm::ALL {
+            let quiet = algo.make(16, &s, &AgentCtx::default()).unwrap();
+            let faulted = algo.make(16, &s, &faulted_ctx).unwrap();
+            let diverges = (0..2_000).any(|t| quiet.channel_at(t) != faulted.channel_at(t));
+            assert_eq!(
+                diverges,
+                algo.availability_aware(),
+                "{algo}: plan sensitivity does not match availability_aware()"
+            );
+            for t in 0..500 {
+                assert!(s.contains(faulted.channel_at(t).get()), "{algo} at {t}");
             }
         }
     }
@@ -205,8 +313,38 @@ mod tests {
 
     #[test]
     fn display_names_unique() {
+        // Over ALL variants (not just the Table 1 subset): artifact row
+        // ids are keyed by display name, so a duplicate anywhere would
+        // silently merge cells. ALL itself is compile-time exhaustive.
         let names: std::collections::HashSet<String> =
-            Algorithm::TABLE1.iter().map(|a| a.to_string()).collect();
-        assert_eq!(names.len(), Algorithm::TABLE1.len());
+            Algorithm::ALL.iter().map(|a| a.to_string()).collect();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn horizon_widens_before_multiplying() {
+        // Regression for the old `(k * ell) as u64` / `(k + ell) as u64`
+        // forms, which multiplied (added) in `usize` *before* widening —
+        // an overflow for large k·ℓ on 32-bit targets. k = ℓ = 70_000
+        // makes k·ℓ ≈ 4.9e9 > 2³²; the widened math must survive it and
+        // match the formulas exactly.
+        let (k, ell) = (70_000usize, 70_000usize);
+        let kl = 4_900_000_000u64;
+        assert_eq!(Algorithm::Ours.horizon(16, k, ell), (9 * kl + 4) * 4 * 80);
+        assert_eq!(
+            Algorithm::Random.horizon(16, k, ell),
+            64 * kl * u64::from(rdv_strings::log_sharp(16) + 1) + 1024
+        );
+        // Beacon horizons add before widening; push the sum past 2³².
+        let (k, ell) = (3_000_000_000usize, 3_000_000_000usize);
+        let sum = 6_000_000_000u64;
+        assert_eq!(
+            Algorithm::BeaconA.horizon(16, k, ell),
+            256 * sum * u64::from(rdv_strings::log_sharp(16) + 1) + 4096
+        );
+        assert_eq!(
+            Algorithm::BeaconB.horizon(16, k, ell),
+            512 * (sum + u64::from(rdv_strings::log_sharp(16))) + 8192
+        );
     }
 }

@@ -1193,6 +1193,7 @@ mod tests {
             wake,
             agent_seed: seed,
             shared_seed: 42,
+            faults: None,
         };
         Agent {
             schedule: algo.make(n, &set, &ctx).expect("valid agent"),

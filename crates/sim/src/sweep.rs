@@ -190,11 +190,13 @@ fn seed_ctxs(seed: u64, wake_b: u64) -> (AgentCtx, AgentCtx) {
             wake: 0,
             agent_seed: pool::stream_seed(seed, 0),
             shared_seed: seed,
+            faults: None,
         },
         AgentCtx {
             wake: wake_b,
             agent_seed: pool::stream_seed(seed, 1),
             shared_seed: seed,
+            faults: None,
         },
     )
 }

@@ -286,6 +286,31 @@ pub fn clustered_agents(
     seed: u64,
     max_wake: u64,
 ) -> Vec<Agent> {
+    clustered_agents_with_faults(algo, n, k, count, seed, max_wake, None)
+}
+
+/// [`clustered_agents`], with an optional fault plan threaded into every
+/// agent's [`AgentCtx`]: the availability-aware family
+/// ([`Algorithm::availability_aware`]) derives its hops from the plan's
+/// sensed channel sets, so its faulted population differs from its clean
+/// one; every oblivious algorithm ignores the plan, so `None` reproduces
+/// [`clustered_agents`] exactly. Availability-aware algorithms are
+/// wake-sensitive (sensing runs on the absolute clock), so [`share_key`]
+/// already refuses to share their schedules across different wakes.
+///
+/// # Panics
+///
+/// Panics if the parameters do not fit the universe (`k > n`) or the
+/// algorithm cannot be instantiated on a generated set.
+pub fn clustered_agents_with_faults(
+    algo: Algorithm,
+    n: u64,
+    k: usize,
+    count: usize,
+    seed: u64,
+    max_wake: u64,
+    faults: Option<rdv_core::fault::FaultPlan>,
+) -> Vec<Agent> {
     clustered_population(n, k, count, seed)
         .into_iter()
         .enumerate()
@@ -294,6 +319,7 @@ pub fn clustered_agents(
                 wake: (i as u64).wrapping_mul(37) % max_wake.max(1),
                 agent_seed: i as u64,
                 shared_seed: seed,
+                faults,
             };
             Agent {
                 schedule: algo

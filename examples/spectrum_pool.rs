@@ -24,6 +24,7 @@ fn run(algo: Algorithm, n: u64, sets: &[ChannelSet]) -> (usize, usize, u64, f64)
                 wake,
                 agent_seed: i as u64,
                 shared_seed: 7,
+                faults: None,
             };
             Agent {
                 schedule: algo.make(n, set, &ctx).expect("valid agent"),

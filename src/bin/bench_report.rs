@@ -12,10 +12,17 @@
 //!   (one per-cell pool submission per cell) vs as **one task-tree
 //!   submission** (`rdv_sim::sweep_pair_grid`), at 8 requested worker
 //!   threads.
+//! * **`BENCH_faults.json`** — pair-slots/sec of the arena engine on the
+//!   faulted grid (committed `light` profile), availability-aware
+//!   ACS-hopping population vs the oblivious Thm-3 population under the
+//!   same plan, with the worst faulted TTR of each side recorded as the
+//!   speed/TTR trade. The gated column is the availability-aware
+//!   throughput (`acs_pair_slots_per_sec`) — sensed-projection must not
+//!   silently fall off the block-compiled path.
 //!
 //! ```text
 //! cargo run --release --bin bench_report -- \
-//!     [--suite kernel|multiuser|tree|all] [--out-dir DIR] [--smoke] \
+//!     [--suite kernel|multiuser|tree|faults|all] [--out-dir DIR] [--smoke] \
 //!     [--baseline FILE]... [--max-regression-pct 30] \
 //!     [--min-arena-speedup X] [--min-tree-speedup X] \
 //!     [--min-bitplane-speedup X] [--history LEDGER.jsonl]
@@ -59,7 +66,7 @@ use blind_rendezvous::report::Tier;
 use rdv_core::schedule::Schedule;
 use rdv_sim::engine::{EngineConfig, MeetingReport, PlanePolicy, ResolveMode, Simulation};
 use rdv_sim::sweep::{sweep_pair_grid, sweep_pair_ttr, SweepCell};
-use rdv_sim::{workload, Algorithm, PairSweep, ParallelConfig};
+use rdv_sim::{workload, Algorithm, FaultProfile, PairSweep, ParallelConfig};
 use serde_json::Value;
 use std::time::Instant;
 
@@ -601,6 +608,184 @@ fn tree_suite(smoke: bool) -> Suite {
     }
 }
 
+// ---------------------------------------------------------------- faults
+
+struct FaultsCell {
+    n_agents: usize,
+    universe: u64,
+    k: usize,
+    horizon: u64,
+    overlapping_pairs: usize,
+    missed_pairs: usize,
+    pair_slots: u64,
+    acs_pair_slots_per_sec: f64,
+    oblivious_pair_slots_per_sec: f64,
+    acs_worst_ttr: u64,
+    oblivious_worst_ttr: u64,
+}
+
+/// Worst faulted TTR among the pairs that met — the quality side of the
+/// speed/TTR trade the faults suite records.
+fn worst_ttr(sim: &Simulation, report: &MeetingReport) -> u64 {
+    report
+        .first_meeting
+        .iter()
+        .filter_map(|((i, j), _)| report.ttr(i, j, sim.agents()))
+        .max()
+        .unwrap_or(0)
+}
+
+fn measure_faults(
+    n_agents: usize,
+    universe: u64,
+    k: usize,
+    horizon: u64,
+    smoke: bool,
+) -> FaultsCell {
+    // The committed `light` profile on a fixed seed: the same faulted grid
+    // the repro pipeline sweeps, sized up for throughput timing. The
+    // availability-aware population senses the plan (it is threaded into
+    // every `AgentCtx`); the oblivious twin hops blind and only the
+    // engine's meeting test sees the outage masks.
+    let profile = *FaultProfile::named("light").expect("light profile is committed");
+    let plan = profile.plan(11, horizon);
+    let faulted = EngineConfig {
+        faults: Some(plan),
+        ..EngineConfig::default()
+    };
+
+    let acs_sim = Simulation::new(workload::clustered_agents_with_faults(
+        Algorithm::AcsHopping,
+        universe,
+        k,
+        n_agents,
+        11,
+        256,
+        Some(plan),
+    ));
+    let acs_report = acs_sim.run_engine(horizon, &faulted);
+    let oblivious_sim = Simulation::new(workload::clustered_agents(
+        Algorithm::Ours,
+        universe,
+        k,
+        n_agents,
+        11,
+        256,
+    ));
+    let oblivious_report = oblivious_sim.run_engine(horizon, &faulted);
+
+    let slots = pair_slots(&acs_sim, &acs_report);
+    let oblivious_slots = pair_slots(&oblivious_sim, &oblivious_report);
+    let (min_secs, min_reps) = if smoke { (0.05, 1) } else { (0.2, 3) };
+    let acs_secs = time_reps(
+        || {
+            std::hint::black_box(acs_sim.run_engine(horizon, &faulted));
+        },
+        min_secs,
+        min_reps,
+    );
+    let oblivious_secs = time_reps(
+        || {
+            std::hint::black_box(oblivious_sim.run_engine(horizon, &faulted));
+        },
+        min_secs,
+        min_reps,
+    );
+
+    FaultsCell {
+        n_agents,
+        universe,
+        k,
+        horizon,
+        overlapping_pairs: acs_report.first_meeting.len() + acs_report.missed.len(),
+        missed_pairs: acs_report.missed.len(),
+        pair_slots: slots,
+        acs_pair_slots_per_sec: slots as f64 / acs_secs,
+        oblivious_pair_slots_per_sec: oblivious_slots as f64 / oblivious_secs,
+        acs_worst_ttr: worst_ttr(&acs_sim, &acs_report),
+        oblivious_worst_ttr: worst_ttr(&oblivious_sim, &oblivious_report),
+    }
+}
+
+fn faults_suite(smoke: bool) -> Suite {
+    let grid: [(usize, u64, usize, u64); 3] = [
+        (64, 64, 8, 1 << 12),
+        (512, 96, 24, 1 << 12),
+        (2048, 256, 32, 1 << 11),
+    ];
+    let mut cells = Vec::new();
+    for (n_agents, universe, k, horizon) in grid {
+        let cell = measure_faults(n_agents, universe, k, horizon, smoke);
+        println!(
+            "faults    n={:<6} pairs={:<8} acs={:>14.0} ps/s   oblivious={:>13.0} ps/s   worstTTR acs={} vs obl={}",
+            cell.n_agents,
+            cell.overlapping_pairs,
+            cell.acs_pair_slots_per_sec,
+            cell.oblivious_pair_slots_per_sec,
+            cell.acs_worst_ttr,
+            cell.oblivious_worst_ttr
+        );
+        cells.push(cell);
+    }
+    let report = Value::object([
+        ("bench", Value::from("faults_acs_engine")),
+        (
+            "workload",
+            Value::from(
+                "clustered population on the faulted grid (light profile: epoch 64, outage 50‰, \
+                 churn 150‰), ACS-hopping sensed-projection vs oblivious GeneralSchedule (Thm 3) \
+                 under the same plan",
+            ),
+        ),
+        (
+            "unit",
+            Value::from(
+                "pair-slots resolved per second (per pair: later wake to first meeting or horizon)",
+            ),
+        ),
+        ("profile", Value::from("light")),
+        (
+            "scenarios",
+            Value::Array(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Value::object([
+                            ("n_agents", Value::from(c.n_agents)),
+                            ("universe", Value::from(c.universe)),
+                            ("k", Value::from(c.k)),
+                            ("horizon", Value::from(c.horizon)),
+                            ("overlapping_pairs", Value::from(c.overlapping_pairs)),
+                            ("missed_pairs", Value::from(c.missed_pairs)),
+                            ("pair_slots", Value::from(c.pair_slots)),
+                            (
+                                "acs_pair_slots_per_sec",
+                                Value::from(c.acs_pair_slots_per_sec),
+                            ),
+                            (
+                                "oblivious_pair_slots_per_sec",
+                                Value::from(c.oblivious_pair_slots_per_sec),
+                            ),
+                            ("acs_worst_ttr", Value::from(c.acs_worst_ttr)),
+                            ("oblivious_worst_ttr", Value::from(c.oblivious_worst_ttr)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Suite {
+        bench: "faults_acs_engine",
+        file: "BENCH_faults.json",
+        key_label: "n_agents",
+        gate_points: cells
+            .iter()
+            .map(|c| (c.n_agents as u64, c.acs_pair_slots_per_sec))
+            .collect(),
+        report,
+    }
+}
+
 // ------------------------------------------------------------------ gate
 
 /// Parses a baseline report into its `bench` id and `(key, throughput)`
@@ -785,8 +970,11 @@ fn main() {
     if suite_filter == "tree" || suite_filter == "all" {
         suites.push(tree_suite(smoke));
     }
+    if suite_filter == "faults" || suite_filter == "all" {
+        suites.push(faults_suite(smoke));
+    }
     if suites.is_empty() {
-        panic!("--suite takes kernel, multiuser, tree, or all (got {suite_filter})");
+        panic!("--suite takes kernel, multiuser, tree, faults, or all (got {suite_filter})");
     }
 
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("creating {out_dir}: {e}"));

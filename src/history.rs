@@ -436,6 +436,7 @@ pub fn bench_gate_columns(bench: &str) -> (&'static str, &'static str) {
     match bench {
         "multiuser_arena_engine" => ("n_agents", "arena_pair_slots_per_sec"),
         "multiuser_bitplane_kernel" => ("n_agents", "bitplane_pair_slots_per_sec"),
+        "faults_acs_engine" => ("n_agents", "acs_pair_slots_per_sec"),
         "task_tree_grid" => ("cells", "tree_cells_per_sec"),
         _ => ("n", "block_slots_per_sec"),
     }

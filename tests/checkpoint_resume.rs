@@ -216,7 +216,7 @@ fn truncated_journal_resumes_byte_identical() {
 
         let full = std::fs::read_to_string(&path).expect("journal");
         let lines: Vec<&str> = full.lines().collect();
-        assert_eq!(lines.len(), 1 + 12, "header + every smoke cell");
+        assert_eq!(lines.len(), 1 + 24, "header + every smoke cell");
         // Crash after K = 0, 1, 5, and 11 completed cells (journal keeps
         // header + K records), plus a torn final line on top of K = 5.
         for keep in [0usize, 1, 5, 11] {
@@ -243,7 +243,7 @@ fn truncated_journal_resumes_byte_identical() {
 }
 
 /// A fully-journaled grid resumes without recomputing anything: the
-/// journal replays all 12 cells and the artifact still matches.
+/// journal replays all 24 cells and the artifact still matches.
 #[test]
 fn complete_journal_replays_every_cell() {
     let path = scratch("complete.ckpt");
@@ -251,7 +251,7 @@ fn complete_journal_replays_every_cell() {
     let profile = FaultProfile::named("light").expect("committed profile");
     let fingerprint = faults::fingerprint(Tier::Smoke, profile, SABOTAGE);
     let journal = Journal::resume(&path, &fingerprint).expect("resume");
-    assert_eq!(journal.replayed().len(), 12);
+    assert_eq!(journal.replayed().len(), 24);
     let resumed = faults::run_with(Tier::Smoke, 1, profile, SABOTAGE, Some(&journal));
     assert_eq!(artifact_bytes(&baseline), artifact_bytes(&resumed));
     std::fs::remove_file(&path).ok();

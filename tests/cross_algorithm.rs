@@ -27,11 +27,13 @@ fn every_algorithm_rendezvouses_on_a_shared_scenario() {
             wake: 0,
             agent_seed: 1,
             shared_seed: 5,
+            faults: None,
         };
         let ctx_b = AgentCtx {
             wake: 17,
             agent_seed: 2,
             shared_seed: 5,
+            faults: None,
         };
         let sa = algo.make(n, &scenario.a, &ctx_a).expect("instantiates");
         let sb = algo.make(n, &scenario.b, &ctx_b).expect("instantiates");
@@ -51,6 +53,7 @@ fn schedules_never_leave_their_sets() {
         wake: 5,
         agent_seed: 9,
         shared_seed: 1,
+        faults: None,
     };
     for algo in ALL_ALGOS {
         let s = algo.make(n, &set, &ctx).expect("instantiates");
@@ -90,6 +93,7 @@ fn determinism_across_rebuilds() {
         wake: 3,
         agent_seed: 7,
         shared_seed: 11,
+        faults: None,
     };
     for algo in ALL_ALGOS {
         let a = algo.make(n, &set, &ctx).expect("instantiates");

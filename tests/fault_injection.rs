@@ -32,7 +32,18 @@ fn plan_knobs() -> impl Strategy<Value = (u64, u64, u16, u16)> {
     (any::<u64>(), 1u64..128, 0u16..=400, 0u16..=500)
 }
 
-fn build(n: u64, spec: &[(Vec<u64>, u64)]) -> Vec<Agent> {
+/// Builds the population, mixing oblivious and availability-aware
+/// algorithms: the plan (when present) is threaded into every `AgentCtx`,
+/// so the `Zos`/`AcsHopping` agents derive their hops from its sensed
+/// channel sets while `Ours`/`Random` ignore it — and the naive reference
+/// below must still agree bit-identically with every arena path.
+fn build(n: u64, spec: &[(Vec<u64>, u64)], plan: Option<FaultPlan>) -> Vec<Agent> {
+    const MIX: [Algorithm; 4] = [
+        Algorithm::Ours,
+        Algorithm::Zos,
+        Algorithm::Random,
+        Algorithm::AcsHopping,
+    ];
     spec.iter()
         .enumerate()
         .map(|(i, (channels, wake))| {
@@ -41,12 +52,9 @@ fn build(n: u64, spec: &[(Vec<u64>, u64)]) -> Vec<Agent> {
                 wake: *wake,
                 agent_seed: i as u64,
                 shared_seed: 5,
+                faults: plan,
             };
-            let algo = if i % 3 == 2 {
-                Algorithm::Random
-            } else {
-                Algorithm::Ours
-            };
+            let algo = MIX[i % MIX.len()];
             Agent {
                 schedule: algo.make(n, &set, &ctx).expect("valid agent"),
                 set,
@@ -113,9 +121,9 @@ proptest! {
         (seed, epoch, outage, churn) in plan_knobs(),
         horizon in 600u64..1500,
     ) {
-        let agents = build(n, &spec);
-        let sim = Simulation::new(agents);
         let plan = FaultPlan::new(seed, epoch, outage, churn, horizon);
+        let agents = build(n, &spec, Some(plan));
+        let sim = Simulation::new(agents);
         let (expected_met, expected_missed) = faulted_reference(sim.agents(), horizon, &plan);
         for mode in [ResolveMode::Auto, ResolveMode::PairMajor, ResolveMode::BucketScan] {
             for threads in [1usize, 2, 8] {
@@ -153,9 +161,9 @@ proptest! {
         (seed, epoch, outage, churn) in plan_knobs(),
         horizon in 600u64..1500,
     ) {
-        let agents = build(n, &spec);
-        let sim = Simulation::new(agents);
         let plan = FaultPlan::new(seed, epoch, outage, churn, horizon);
+        let agents = build(n, &spec, Some(plan));
+        let sim = Simulation::new(agents);
         let arena = sim.run_engine(
             horizon,
             &EngineConfig { faults: Some(plan), ..EngineConfig::default() },
@@ -172,6 +180,66 @@ proptest! {
                 &arena, &per_pair,
                 "faulted per-pair engine diverged at {} threads", threads
             );
+        }
+    }
+
+    #[test]
+    fn pre_arrival_slots_are_masked_on_every_fill_path(
+        (n, spec) in population(),
+        seed in any::<u64>(),
+        epoch in 1u64..128,
+        outage in 0u16..=400,
+        horizon in 600u64..1500,
+    ) {
+        // Regression pin for the fill-path guard audit: the masked-row
+        // fill zeroes departure and outage slots explicitly but relies on
+        // the leading `[0, max(wake, arrive))` prefix being zeroed
+        // *upstream* (the `lead` fill). Force heavy churn so late-arrival
+        // windows (`arrive > 0`) are common, and assert on every resolve
+        // mode × plane policy × thread count that no reported meeting
+        // predates either endpoint's arrival — plus full agreement with
+        // the naive reference, which starts each pair at
+        // `max(wakes, arrivals)` by construction.
+        let churn = 900u16;
+        let plan = FaultPlan::new(seed, epoch, outage, churn, horizon);
+        let agents = build(n, &spec, Some(plan));
+        let sim = Simulation::new(agents);
+        let late_arrivals = (0..sim.agents().len())
+            .filter(|&a| plan.agent_window(a).arrive > 0)
+            .count();
+        let (expected_met, expected_missed) = faulted_reference(sim.agents(), horizon, &plan);
+        for mode in [ResolveMode::Auto, ResolveMode::PairMajor, ResolveMode::BucketScan] {
+            for plane in [PlanePolicy::Auto, PlanePolicy::Slotwise] {
+                for threads in [1usize, 2, 8] {
+                    let cfg = EngineConfig {
+                        parallel: ParallelConfig::with_threads(threads),
+                        mode,
+                        plane,
+                        faults: Some(plan),
+                    };
+                    let report = sim.run_engine(horizon, &cfg);
+                    for &((i, j), t) in report.first_meeting.as_slice() {
+                        let earliest = sim.agents()[i]
+                            .wake
+                            .max(sim.agents()[j].wake)
+                            .max(plan.agent_window(i).arrive)
+                            .max(plan.agent_window(j).arrive);
+                        prop_assert!(
+                            t >= earliest,
+                            "pair ({i},{j}) met at {t} before arrival {earliest} \
+                             (mode {:?}, {:?}, {} threads; {} late arrivals)",
+                            mode, plane, threads, late_arrivals
+                        );
+                    }
+                    prop_assert_eq!(
+                        report.first_meeting.as_slice(),
+                        expected_met.as_slice(),
+                        "pre-arrival masking diverged: mode {:?}, {:?}, {} threads",
+                        mode, plane, threads
+                    );
+                    prop_assert_eq!(&report.missed, &expected_missed);
+                }
+            }
         }
     }
 

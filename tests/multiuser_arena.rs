@@ -37,6 +37,7 @@ fn build(n: u64, spec: &[(Vec<u64>, u64)]) -> Vec<Agent> {
                 wake: *wake,
                 agent_seed: i as u64,
                 shared_seed: 5,
+                faults: None,
             };
             // Mix a deterministic and a seeded-random algorithm across the
             // population so schedules differ in period structure.

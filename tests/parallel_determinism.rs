@@ -73,6 +73,7 @@ fn multi_agent_simulation_is_thread_count_invariant() {
                 wake: (i as u64) * 137,
                 agent_seed: i as u64,
                 shared_seed: 7,
+                faults: None,
             };
             Agent {
                 schedule: Algorithm::Ours.make(12, &set, &ctx).expect("valid"),

@@ -22,14 +22,14 @@ fn sabotaged_grid_degrades_to_a_partial_artifact() {
     let out = faults::run(Tier::Smoke, 1, profile, SABOTAGE);
 
     // Exactly the two sabotaged cells failed, sorted by row id. At smoke
-    // tier the grid opens with the `ours` rows over the axes
+    // tier the grid opens with the CRSEQ rows over the axes
     // (0,0), (o,0), (0,c), (o,c) at n=16, so cells 1 and 2 are the o=50
     // and c=150 rows — and "o=0" sorts before "o=50".
     assert_eq!(out.failed_cells.len(), 2, "{:?}", out.failed_cells);
     let exhausted = &out.failed_cells[0];
     let poisoned = &out.failed_cells[1];
-    assert_eq!(exhausted.id, "ours (Thm 3)/async/faults[o=0,c=150]/n=16");
-    assert_eq!(poisoned.id, "ours (Thm 3)/async/faults[o=50,c=0]/n=16");
+    assert_eq!(exhausted.id, "CRSEQ [21]/async/faults[o=0,c=150]/n=16");
+    assert_eq!(poisoned.id, "CRSEQ [21]/async/faults[o=50,c=0]/n=16");
     assert!(
         exhausted.cause.contains("gave up after 0 draws"),
         "{}",
@@ -56,14 +56,14 @@ fn sabotaged_grid_degrades_to_a_partial_artifact() {
         "JSON failed_cells must be row-id-sorted"
     );
 
-    // Every healthy cell still produced its row: 3 algorithms × 4 fault
+    // Every healthy cell still produced its row: 6 algorithms × 4 fault
     // axes × 1 population size at smoke tier, minus the two sabotaged.
     let rows = out
         .json
         .get("rows")
         .and_then(|r| r.as_array())
         .expect("rows");
-    assert_eq!(rows.len(), 12 - 2);
+    assert_eq!(rows.len(), 24 - 2);
     assert!(
         !out.markdown.contains("None — every grid cell completed."),
         "the markdown must flag the partial artifact"
@@ -101,7 +101,7 @@ fn clean_grid_has_no_failed_cells_and_keeps_every_row() {
         .get("rows")
         .and_then(|r| r.as_array())
         .expect("rows");
-    assert_eq!(rows.len(), 12);
+    assert_eq!(rows.len(), 24);
     assert!(out.markdown.contains("None — every grid cell completed."));
     // The tracked section is present (and empty) even on clean runs, so
     // consumers can rely on the schema.

@@ -105,8 +105,8 @@ proptest! {
             Algorithm::BeaconB,
         ];
         for algo in algos {
-            let ctx_a = AgentCtx { wake: 0, agent_seed: seed * 2, shared_seed: seed };
-            let ctx_b = AgentCtx { wake: shift, agent_seed: seed * 2 + 1, shared_seed: seed };
+            let ctx_a = AgentCtx { wake: 0, agent_seed: seed * 2, shared_seed: seed, faults: None };
+            let ctx_b = AgentCtx { wake: shift, agent_seed: seed * 2 + 1, shared_seed: seed, faults: None };
             let (Some(sa), Some(sb)) = (algo.make(n, &a, &ctx_a), algo.make(n, &b, &ctx_b))
             else {
                 continue;
